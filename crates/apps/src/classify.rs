@@ -1,0 +1,164 @@
+//! Application grouping per Table III of the paper.
+//!
+//! Groups are defined over the *step-3* dispatch characterization
+//! (§III-B): backend-bound if backend stalls (including revealed horizontal
+//! waste) exceed 65 % of cycles, frontend-bound if frontend stalls exceed
+//! 35 %, otherwise "others".
+
+use synpa_sim::PmuCounters;
+
+/// Table III groups.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Group {
+    /// Backend stalls > 65 % of cycles.
+    BackendBound,
+    /// Frontend stalls > 35 % of cycles.
+    FrontendBound,
+    /// Everything else.
+    Others,
+}
+
+impl std::fmt::Display for Group {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Group::BackendBound => write!(f, "backend-bound"),
+            Group::FrontendBound => write!(f, "frontend-bound"),
+            Group::Others => write!(f, "others"),
+        }
+    }
+}
+
+/// The step-3 characterization of one measurement interval, as cycle
+/// fractions: full-dispatch + frontend + backend = 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fractions {
+    /// Equivalent full-dispatch cycles / total cycles.
+    pub full_dispatch: f64,
+    /// Frontend stall cycles / total cycles.
+    pub frontend: f64,
+    /// Backend stall cycles (measured + revealed) / total cycles.
+    pub backend: f64,
+}
+
+impl Fractions {
+    /// Derives the step-3 fractions from raw PMU deltas (§III-B):
+    ///
+    /// 1. measured events: `stall_frontend`, `stall_backend`, and dispatch
+    ///    cycles as the remainder;
+    /// 2. equivalent full-dispatch cycles `F-Dc = inst_spec / width`;
+    /// 3. revealed stalls `Dc − F-Dc` assigned to the backend.
+    pub fn from_pmu(delta: &PmuCounters, dispatch_width: u32) -> Self {
+        if delta.cpu_cycles == 0 {
+            return Self {
+                full_dispatch: 0.0,
+                frontend: 0.0,
+                backend: 0.0,
+            };
+        }
+        let cycles = delta.cpu_cycles as f64;
+        let fe = delta.stall_frontend as f64 / cycles;
+        let be_measured = delta.stall_backend as f64 / cycles;
+        let dispatch_cycles = (1.0 - fe - be_measured).max(0.0);
+        let full_dispatch =
+            (delta.inst_spec as f64 / dispatch_width as f64 / cycles).min(dispatch_cycles);
+        let revealed = dispatch_cycles - full_dispatch;
+        Self {
+            full_dispatch,
+            frontend: fe,
+            backend: be_measured + revealed,
+        }
+    }
+
+    /// Classifies per Table III thresholds.
+    pub fn group(&self) -> Group {
+        if self.backend > 0.65 {
+            Group::BackendBound
+        } else if self.frontend > 0.35 {
+            Group::FrontendBound
+        } else {
+            Group::Others
+        }
+    }
+
+    /// Sum of the three categories (should be ≈ 1 for a valid interval).
+    pub fn total(&self) -> f64 {
+        self.full_dispatch + self.frontend + self.backend
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pmu(cycles: u64, spec: u64, fe: u64, be: u64) -> PmuCounters {
+        PmuCounters {
+            cpu_cycles: cycles,
+            inst_spec: spec,
+            stall_frontend: fe,
+            stall_backend: be,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let f = Fractions::from_pmu(&pmu(1000, 2000, 200, 300), 4);
+        assert!((f.total() - 1.0).abs() < 1e-9, "total {}", f.total());
+    }
+
+    #[test]
+    fn revealed_waste_goes_to_backend() {
+        // 1000 cycles, 100 FE, 100 BE -> 800 dispatch cycles, but only 1600
+        // µops dispatched = 400 full-dispatch cycles; 400 revealed -> BE.
+        let f = Fractions::from_pmu(&pmu(1000, 1600, 100, 100), 4);
+        assert!((f.full_dispatch - 0.4).abs() < 1e-9);
+        assert!((f.frontend - 0.1).abs() < 1e-9);
+        assert!((f.backend - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn full_width_dispatch_has_no_revealed() {
+        let f = Fractions::from_pmu(&pmu(1000, 4000, 0, 0), 4);
+        assert!((f.full_dispatch - 1.0).abs() < 1e-9);
+        assert_eq!(f.backend, 0.0);
+    }
+
+    #[test]
+    fn group_thresholds_match_table3() {
+        let be = Fractions {
+            full_dispatch: 0.2,
+            frontend: 0.1,
+            backend: 0.7,
+        };
+        assert_eq!(be.group(), Group::BackendBound);
+        let fe = Fractions {
+            full_dispatch: 0.3,
+            frontend: 0.4,
+            backend: 0.3,
+        };
+        assert_eq!(fe.group(), Group::FrontendBound);
+        let other = Fractions {
+            full_dispatch: 0.4,
+            frontend: 0.3,
+            backend: 0.3,
+        };
+        assert_eq!(other.group(), Group::Others);
+    }
+
+    #[test]
+    fn boundary_is_exclusive() {
+        let f = Fractions {
+            full_dispatch: 0.0,
+            frontend: 0.35,
+            backend: 0.65,
+        };
+        assert_eq!(f.group(), Group::Others, "thresholds are strict >");
+    }
+
+    #[test]
+    fn zero_cycles_is_safe() {
+        let f = Fractions::from_pmu(&PmuCounters::default(), 4);
+        assert_eq!(f.frontend, 0.0);
+        assert_eq!(f.backend, 0.0);
+    }
+}

@@ -1,0 +1,174 @@
+//! Phase-based application profiles.
+//!
+//! An [`AppProfile`] is a named sequence of execution phases that repeats
+//! cyclically until the launch's target instruction count is reached. The
+//! profile implements [`ThreadProgram`], which is the only interface the
+//! simulator (and hence the SYNPA policy) ever sees — matching the paper's
+//! setting where applications are opaque and only their PMU signature is
+//! observable.
+
+use synpa_sim::{PhaseParams, ThreadProgram};
+
+/// One phase: `instructions` retired µops during which `params` applies.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Retired instructions this phase lasts before the next begins.
+    pub instructions: u64,
+    /// Demand parameters in effect during the phase.
+    pub params: PhaseParams,
+}
+
+/// A named application model built from repeating phases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AppProfile {
+    name: String,
+    phases: Vec<Phase>,
+    cycle_len: u64,
+    /// Target instructions per launch (the paper's §V-B target count).
+    length: u64,
+}
+
+impl AppProfile {
+    /// Builds a profile. Panics if `phases` is empty or any phase has zero
+    /// instructions.
+    pub fn new(name: impl Into<String>, phases: Vec<Phase>, length: u64) -> Self {
+        assert!(!phases.is_empty(), "profile needs at least one phase");
+        assert!(
+            phases.iter().all(|p| p.instructions > 0),
+            "phases must be non-empty"
+        );
+        let cycle_len = phases.iter().map(|p| p.instructions).sum();
+        Self {
+            name: name.into(),
+            phases,
+            cycle_len,
+            length,
+        }
+    }
+
+    /// Single-phase convenience constructor.
+    pub fn uniform(name: impl Into<String>, params: PhaseParams, length: u64) -> Self {
+        Self::new(
+            name,
+            vec![Phase {
+                instructions: 1,
+                params,
+            }],
+            length,
+        )
+    }
+
+    /// Returns a copy with a different launch length. Used once the target
+    /// instruction count has been measured (60 s isolated run in the paper).
+    pub fn with_length(mut self, length: u64) -> Self {
+        self.length = length;
+        self
+    }
+
+    /// The phases, in cycle order.
+    pub fn phases(&self) -> &[Phase] {
+        &self.phases
+    }
+
+    /// Total instructions in one pass over all phases.
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle_len
+    }
+}
+
+impl ThreadProgram for AppProfile {
+    fn phase_at(&self, retired: u64) -> PhaseParams {
+        let mut pos = retired % self.cycle_len;
+        for p in &self.phases {
+            if pos < p.instructions {
+                return p.params;
+            }
+            pos -= p.instructions;
+        }
+        // Unreachable: pos < cycle_len = sum(instructions).
+        self.phases[0].params
+    }
+
+    fn length(&self) -> u64 {
+        self.length
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params(mem_ratio: f64) -> PhaseParams {
+        PhaseParams {
+            mem_ratio,
+            ..PhaseParams::compute()
+        }
+    }
+
+    #[test]
+    fn phase_lookup_follows_boundaries() {
+        let p = AppProfile::new(
+            "x",
+            vec![
+                Phase {
+                    instructions: 100,
+                    params: params(0.1),
+                },
+                Phase {
+                    instructions: 50,
+                    params: params(0.5),
+                },
+            ],
+            10_000,
+        );
+        assert_eq!(p.phase_at(0).mem_ratio, 0.1);
+        assert_eq!(p.phase_at(99).mem_ratio, 0.1);
+        assert_eq!(p.phase_at(100).mem_ratio, 0.5);
+        assert_eq!(p.phase_at(149).mem_ratio, 0.5);
+    }
+
+    #[test]
+    fn phases_repeat_cyclically() {
+        let p = AppProfile::new(
+            "x",
+            vec![
+                Phase {
+                    instructions: 10,
+                    params: params(0.1),
+                },
+                Phase {
+                    instructions: 10,
+                    params: params(0.9),
+                },
+            ],
+            1_000_000,
+        );
+        assert_eq!(p.phase_at(20).mem_ratio, 0.1);
+        assert_eq!(p.phase_at(35).mem_ratio, 0.9);
+        assert_eq!(p.phase_at(20_000_015).mem_ratio, 0.9);
+    }
+
+    #[test]
+    fn uniform_has_single_phase() {
+        let p = AppProfile::uniform("u", params(0.2), 500);
+        assert_eq!(p.phases().len(), 1);
+        assert_eq!(p.length(), 500);
+        assert_eq!(p.phase_at(12345).mem_ratio, 0.2);
+    }
+
+    #[test]
+    fn with_length_overrides() {
+        let p = AppProfile::uniform("u", params(0.2), 500).with_length(99);
+        assert_eq!(p.length(), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one phase")]
+    fn empty_phases_panic() {
+        AppProfile::new("bad", vec![], 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! Fidelity test for Table III of the paper: every one of the 28 synthetic
+//! application models must land in the same group (backend-bound,
+//! frontend-bound, others) as the real SPEC benchmark does on the ThunderX2
+//! when characterized in isolation.
+
+use synpa_apps::{characterize_isolated, spec};
+use synpa_sim::ThreadProgram;
+
+#[test]
+fn all_28_apps_land_in_their_table3_groups() {
+    let mut failures = Vec::new();
+    for app in spec::catalog() {
+        let run = characterize_isolated(&app, 80_000, 120_000);
+        let got = run.fractions.group();
+        let want = spec::expected_group(app.name()).unwrap();
+        if got != want {
+            failures.push(format!(
+                "{}: got {got} (FD {:.1}% FE {:.1}% BE {:.1}%), want {want}",
+                app.name(),
+                run.fractions.full_dispatch * 100.0,
+                run.fractions.frontend * 100.0,
+                run.fractions.backend * 100.0,
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "misclassified apps:\n{}", failures.join("\n"));
+}
+
+#[test]
+fn fig4_extremes_hold() {
+    // nab_r is the high-full-dispatch end of "others", hmmer the low end
+    // (Fig. 4: ~61% vs ~20%).
+    let nab = characterize_isolated(&spec::by_name("nab_r").unwrap(), 80_000, 120_000);
+    let hmmer = characterize_isolated(&spec::by_name("hmmer").unwrap(), 80_000, 120_000);
+    assert!(
+        nab.fractions.full_dispatch > 0.5,
+        "nab_r FD {}",
+        nab.fractions.full_dispatch
+    );
+    assert!(
+        hmmer.fractions.full_dispatch < 0.35,
+        "hmmer FD {}",
+        hmmer.fractions.full_dispatch
+    );
+    assert!(nab.fractions.full_dispatch > hmmer.fractions.full_dispatch);
+}
+
+#[test]
+fn backend_group_is_most_memory_bound() {
+    // Average backend fraction ordering across groups: BE > others.
+    let mut group_be = std::collections::HashMap::new();
+    for app in spec::catalog() {
+        let run = characterize_isolated(&app, 60_000, 80_000);
+        let g = spec::expected_group(app.name()).unwrap();
+        let e = group_be.entry(g).or_insert((0.0, 0));
+        e.0 += run.fractions.backend;
+        e.1 += 1;
+    }
+    let avg = |g| {
+        let (s, n) = group_be[&g];
+        s / n as f64
+    };
+    assert!(avg(synpa_apps::Group::BackendBound) > avg(synpa_apps::Group::Others));
+    assert!(avg(synpa_apps::Group::Others) > avg(synpa_apps::Group::FrontendBound) * 0.5);
+}

@@ -1,0 +1,32 @@
+//! §IV-B step 1: the Newton inversion recovering ST category values from
+//! SMT observations — executed once per core per quantum at runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synpa::model::invert;
+use synpa_bench::{bench_model, synthetic_categories};
+
+fn inversion(c: &mut Criterion) {
+    let model = bench_model();
+    let st = synthetic_categories(8);
+    // Forward-model observations to invert.
+    let obs: Vec<_> = (0..4)
+        .map(|k| {
+            let (a, b) = (&st[2 * k], &st[2 * k + 1]);
+            (model.predict(a, b), model.predict(b, a))
+        })
+        .collect();
+    c.bench_function("invert_one_pair", |b| {
+        b.iter(|| black_box(invert(&model, black_box(&obs[0].0), black_box(&obs[0].1))))
+    });
+    c.bench_function("invert_four_cores", |b| {
+        b.iter(|| {
+            for (ij, ji) in &obs {
+                black_box(invert(&model, black_box(ij), black_box(ji)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, inversion);
+criterion_main!(benches);

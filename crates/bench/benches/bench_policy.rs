@@ -1,0 +1,58 @@
+//! The full per-quantum SYNPA decision (characterize -> invert -> predict
+//! all pairs -> Blossom -> placement) — the runtime overhead a deployment
+//! pays every 100 ms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use synpa::prelude::*;
+use synpa::sched::QuantumView;
+use synpa::sim::PmuCounters;
+use synpa_bench::bench_model;
+
+fn quantum_decision(c: &mut Criterion) {
+    let placement: Vec<(usize, Slot)> = (0..8usize).map(|a| (a, Slot(a))).collect();
+    let samples: Vec<(usize, PmuCounters)> = (0..8)
+        .map(|a| {
+            (
+                a,
+                PmuCounters {
+                    cpu_cycles: 10_000,
+                    inst_spec: 8_000 + a as u64 * 500,
+                    stall_frontend: 1_000 + a as u64 * 300,
+                    stall_backend: 5_000 - a as u64 * 200,
+                    inst_retired: 8_000 + a as u64 * 500,
+                    ..Default::default()
+                },
+            )
+        })
+        .collect();
+    c.bench_function("synpa_quantum_decision_8apps", |b| {
+        b.iter(|| {
+            // Fresh policy per iteration: includes estimate bootstrap.
+            let mut policy = Synpa::new(bench_model()).without_damping();
+            let view = QuantumView {
+                quantum: 0,
+                samples: &samples,
+                placement: &placement,
+                smt_ways: 2,
+                dispatch_width: 4,
+            };
+            black_box(policy.decide(&view))
+        })
+    });
+    c.bench_function("linux_quantum_decision", |b| {
+        b.iter(|| {
+            let view = QuantumView {
+                quantum: 0,
+                samples: &samples,
+                placement: &placement,
+                smt_ways: 2,
+                dispatch_width: 4,
+            };
+            black_box(LinuxLike.decide(&view))
+        })
+    });
+}
+
+criterion_group!(benches, quantum_decision);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Simulator throughput: cycles simulated per second for a single thread,
+//! an SMT pair, and the full 4-core evaluation chip.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use synpa::prelude::*;
+use synpa::sim::{PhaseParams, UniformProgram};
+
+fn chip_with(n_apps: usize, cores: u32) -> Chip {
+    let mut chip = Chip::new(ChipConfig::thunderx2(cores));
+    for i in 0..n_apps {
+        let params = PhaseParams {
+            mem_ratio: 0.3,
+            data_footprint: 256 << 10,
+            data_seq: 0.4,
+            ..PhaseParams::compute()
+        };
+        chip.attach(Slot(i), i, Box::new(UniformProgram::new(format!("p{i}"), params, u64::MAX)));
+    }
+    chip.run_cycles(20_000); // warm
+    chip
+}
+
+fn sim_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    const CYCLES: u64 = 10_000;
+    group.throughput(Throughput::Elements(CYCLES));
+    for (label, apps, cores) in [("1thread", 1usize, 1u32), ("smt_pair", 2, 1), ("chip_8apps", 8, 4)] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let mut chip = chip_with(apps, cores);
+            b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! # synpa-counters — performance-counter abstraction
+//!
+//! The paper's SYNPA prototype is a user-level manager that configures and
+//! reads ARM PMU counters through Linux `perf`. This crate is the equivalent
+//! seam in the reproduction:
+//!
+//! * [`CounterSource`] — anything that reports the four Table I events per
+//!   application (`CPU_CYCLES`, `INST_SPEC`, `STALL_FRONTEND`,
+//!   `STALL_BACKEND`). The simulator's [`synpa_sim::Chip`] implements it; a
+//!   `perf_event_open` backend on real ARM hardware would too.
+//! * [`SamplingSession`] — turns cumulative counters into per-quantum deltas.
+//! * [`TraceWriter`] / [`TraceReplay`] — record deltas to a JSON-lines trace
+//!   and replay them later, so model training can run offline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod replay;
+mod source;
+
+pub use replay::{read_trace, QuantumRecord, TraceError, TraceReplay, TraceWriter};
+pub use source::{CounterSource, SamplingSession};

@@ -1,0 +1,255 @@
+//! Counter-trace recording and replay.
+//!
+//! The paper's experiments read live PMUs; without the hardware we also
+//! support recording each quantum's counter deltas to a JSON-lines trace and
+//! replaying it later. Replay lets model training and experiments run from a
+//! stored trace exactly as they would from a live machine — and a trace
+//! captured on a *real* ARM box (via a `perf` backend) would be consumed by
+//! the identical code path.
+
+use serde::{Deserialize, Serialize};
+use std::io::{BufRead, Write};
+use synpa_sim::{ExtCounters, PmuCounters, PmuDelta};
+
+/// One application's counter delta for one quantum, in serializable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantumRecord {
+    /// Quantum ordinal within the run.
+    pub quantum: u64,
+    /// Application identity.
+    pub app_id: usize,
+    /// `CPU_CYCLES` delta.
+    pub cpu_cycles: u64,
+    /// `INST_SPEC` delta.
+    pub inst_spec: u64,
+    /// `STALL_FRONTEND` delta.
+    pub stall_frontend: u64,
+    /// `STALL_BACKEND` delta.
+    pub stall_backend: u64,
+    /// Retired-instruction delta (methodology bookkeeping).
+    pub inst_retired: u64,
+}
+
+impl QuantumRecord {
+    /// Builds a record from a sampled delta.
+    pub fn from_delta(quantum: u64, app_id: usize, d: &PmuDelta) -> Self {
+        Self {
+            quantum,
+            app_id,
+            cpu_cycles: d.cpu_cycles,
+            inst_spec: d.inst_spec,
+            stall_frontend: d.stall_frontend,
+            stall_backend: d.stall_backend,
+            inst_retired: d.inst_retired,
+        }
+    }
+
+    /// Converts back into the PMU delta shape (extended events are not
+    /// traced: the real four-counter interface doesn't expose them).
+    pub fn to_delta(&self) -> PmuDelta {
+        PmuCounters {
+            cpu_cycles: self.cpu_cycles,
+            inst_spec: self.inst_spec,
+            stall_frontend: self.stall_frontend,
+            stall_backend: self.stall_backend,
+            inst_retired: self.inst_retired,
+            ext: ExtCounters::default(),
+        }
+    }
+}
+
+/// Streams quantum records to a writer as JSON lines.
+pub struct TraceWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Wraps a writer; records are appended as JSON lines.
+    pub fn new(out: W) -> Self {
+        Self { out, records: 0 }
+    }
+
+    /// Appends one record.
+    pub fn write(&mut self, rec: &QuantumRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(rec).expect("record serializes");
+        writeln!(self.out, "{line}")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn len(&self) -> u64 {
+        self.records
+    }
+
+    /// True if nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Flushes and returns the inner writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Reads a JSON-lines trace back into memory.
+pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<QuantumRecord>, TraceError> {
+    let mut out = Vec::new();
+    for (i, line) in input.lines().enumerate() {
+        let line = line.map_err(TraceError::Io)?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: QuantumRecord =
+            serde_json::from_str(&line).map_err(|e| TraceError::Parse { line: i + 1, source: e })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Errors produced when reading a trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line was not a valid record.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Decoder error.
+        source: serde_json::Error,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::Parse { line, source } => {
+                write!(f, "trace parse error at line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Replays a recorded trace quantum by quantum.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    records: Vec<QuantumRecord>,
+    cursor: usize,
+}
+
+impl TraceReplay {
+    /// Builds a replay over `records` (sorted by quantum then app).
+    pub fn new(mut records: Vec<QuantumRecord>) -> Self {
+        records.sort_by_key(|r| (r.quantum, r.app_id));
+        Self { records, cursor: 0 }
+    }
+
+    /// Returns the next quantum's samples, or `None` at end of trace.
+    pub fn next_quantum(&mut self) -> Option<Vec<(usize, PmuDelta)>> {
+        if self.cursor >= self.records.len() {
+            return None;
+        }
+        let q = self.records[self.cursor].quantum;
+        let mut out = Vec::new();
+        while self.cursor < self.records.len() && self.records[self.cursor].quantum == q {
+            let r = &self.records[self.cursor];
+            out.push((r.app_id, r.to_delta()));
+            self.cursor += 1;
+        }
+        Some(out)
+    }
+
+    /// Total quanta in the trace.
+    pub fn quanta(&self) -> usize {
+        let mut n = 0;
+        let mut last = None;
+        for r in &self.records {
+            if last != Some(r.quantum) {
+                n += 1;
+                last = Some(r.quantum);
+            }
+        }
+        n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(q: u64, app: usize, cycles: u64) -> QuantumRecord {
+        QuantumRecord {
+            quantum: q,
+            app_id: app,
+            cpu_cycles: cycles,
+            inst_spec: cycles * 2,
+            stall_frontend: cycles / 10,
+            stall_backend: cycles / 5,
+            inst_retired: cycles * 2,
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_json_lines() {
+        let mut w = TraceWriter::new(Vec::new());
+        w.write(&rec(0, 1, 100)).unwrap();
+        w.write(&rec(0, 2, 100)).unwrap();
+        w.write(&rec(1, 1, 100)).unwrap();
+        assert_eq!(w.len(), 3);
+        let bytes = w.finish().unwrap();
+        let back = read_trace(std::io::BufReader::new(&bytes[..])).unwrap();
+        assert_eq!(back.len(), 3);
+        assert_eq!(back[0], rec(0, 1, 100));
+    }
+
+    #[test]
+    fn replay_groups_by_quantum() {
+        let mut replay = TraceReplay::new(vec![rec(1, 1, 50), rec(0, 1, 10), rec(0, 2, 10)]);
+        let q0 = replay.next_quantum().unwrap();
+        assert_eq!(q0.len(), 2, "both apps of quantum 0");
+        let q1 = replay.next_quantum().unwrap();
+        assert_eq!(q1.len(), 1);
+        assert_eq!(q1[0].1.cpu_cycles, 50);
+        assert!(replay.next_quantum().is_none());
+    }
+
+    #[test]
+    fn quanta_counts_distinct() {
+        let replay = TraceReplay::new(vec![rec(0, 1, 1), rec(0, 2, 1), rec(5, 1, 1)]);
+        assert_eq!(replay.quanta(), 2);
+    }
+
+    #[test]
+    fn delta_conversion_preserves_the_four_events() {
+        let r = rec(0, 1, 1000);
+        let d = r.to_delta();
+        assert_eq!(d.cpu_cycles, 1000);
+        assert_eq!(d.inst_spec, 2000);
+        assert_eq!(d.stall_frontend, 100);
+        assert_eq!(d.stall_backend, 200);
+    }
+
+    #[test]
+    fn malformed_line_reports_line_number() {
+        let text = "{\"quantum\":0,\"app_id\":1,\"cpu_cycles\":1,\"inst_spec\":1,\"stall_frontend\":0,\"stall_backend\":0,\"inst_retired\":1}\nnot json\n";
+        let err = read_trace(std::io::BufReader::new(text.as_bytes())).unwrap_err();
+        match err {
+            TraceError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let text = "\n\n";
+        let recs = read_trace(std::io::BufReader::new(text.as_bytes())).unwrap();
+        assert!(recs.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! Fig. 4: isolated-execution characterization of all 28 applications —
+//! the fraction of cycles in each dispatch category.
+
+use synpa::prelude::*;
+use synpa::sim::ThreadProgram;
+use synpa_experiments::{bar, results_dir};
+
+fn main() {
+    println!("Fig. 4 — characterization of the applications in isolated execution");
+    println!("{:<14} {:>6} {:>6} {:>6}  (bar = backend-stall share)", "app", "FD%", "FE%", "BE%");
+    let mut json = Vec::new();
+    for app in spec::catalog() {
+        let run = synpa::apps::characterize_isolated(&app, 80_000, 120_000);
+        let f = run.fractions;
+        println!(
+            "{:<14} {:>5.1}% {:>5.1}% {:>5.1}%  {}",
+            app.name(),
+            f.full_dispatch * 100.0,
+            f.frontend * 100.0,
+            f.backend * 100.0,
+            bar(f.backend, 40.0)
+        );
+        json.push(serde_json::json!({
+            "app": app.name(),
+            "full_dispatch": f.full_dispatch,
+            "frontend": f.frontend,
+            "backend": f.backend,
+            "ipc": run.ipc,
+        }));
+    }
+    let path = results_dir().join("fig4.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&json).unwrap()).unwrap();
+    println!("\nwritten: {}", path.display());
+}

@@ -1,0 +1,22 @@
+//! Table I: the four ARM PMU events SYNPA needs.
+
+use synpa::sim::Event;
+
+fn main() {
+    println!("Table I — hardware events gathered in the (simulated) ARM processor");
+    println!("{:<16} explanation", "counter");
+    for ev in Event::ALL {
+        let explanation = match ev {
+            Event::CpuCycles => "Cycles",
+            Event::InstSpec => "Operation (speculatively) executed",
+            Event::StallFrontend => {
+                "Cycles on which no operation is dispatched because there is no operation in the queue"
+            }
+            Event::StallBackend => {
+                "Cycles on which no operation is dispatched due to backend resources being unavailable"
+            }
+        };
+        println!("{:<16} {explanation}", ev.mnemonic());
+    }
+    println!("\n(4 counters total; the IBM POWER8 approach of [4] needs 6 — see overhead_comparison)");
+}

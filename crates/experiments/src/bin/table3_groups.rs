@@ -1,0 +1,27 @@
+//! Table III: benchmark grouping by dominant dispatch-stall category,
+//! derived from the measured Fig. 4 characterization and checked against
+//! the paper's assignment.
+
+use synpa::prelude::*;
+use synpa::sim::ThreadProgram;
+
+fn main() {
+    println!("Table III — benchmarks grouped by dispatch-stall dominance");
+    let mut groups: std::collections::BTreeMap<String, Vec<String>> = Default::default();
+    let mut mismatches = 0;
+    for app in spec::catalog() {
+        let run = synpa::apps::characterize_isolated(&app, 80_000, 120_000);
+        let got = run.fractions.group();
+        let want = spec::expected_group(app.name()).unwrap();
+        if got != want {
+            mismatches += 1;
+            eprintln!("MISMATCH: {} measured {} but the paper lists {}", app.name(), got, want);
+        }
+        groups.entry(got.to_string()).or_default().push(app.name().to_string());
+    }
+    for (group, members) in &groups {
+        println!("\n{group} ({}):", members.len());
+        println!("  {}", members.join(", "));
+    }
+    println!("\nclassification matches the paper for {}/28 applications", 28 - mismatches);
+}

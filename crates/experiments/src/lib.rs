@@ -1,0 +1,233 @@
+//! Shared plumbing for the per-table/per-figure experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the paper
+//! (see DESIGN.md §4 for the index). This library provides:
+//!
+//! * the canonical train/holdout application split (§IV-C's 80 %),
+//! * a disk-cached trained model so binaries don't retrain redundantly,
+//! * a disk-cached 20-workload × {linux, synpa} evaluation sweep shared by
+//!   Figs. 5, 8 and 9,
+//! * small table-formatting helpers.
+//!
+//! All caches live under `results/`; delete the directory (or run with
+//! `SYNPA_FRESH=1`) to recompute everything from scratch.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use synpa::prelude::*;
+use synpa::model::CategoryCoeffs;
+
+/// Directory where experiment outputs and caches are written.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// True when cached artefacts should be ignored.
+pub fn fresh_requested() -> bool {
+    std::env::var("SYNPA_FRESH").is_ok()
+}
+
+/// The §IV-C training split: 22 of the 28 applications train the model, six
+/// are held out and only ever appear in evaluation workloads.
+pub fn training_split() -> (Vec<AppProfile>, Vec<AppProfile>) {
+    let all = spec::catalog();
+    let mut train_set = Vec::new();
+    let mut holdout = Vec::new();
+    for (i, app) in all.into_iter().enumerate() {
+        // Deterministic 22/6 split spread across the three Table III groups
+        // (holds out xalancbmk_r, mcf_r, calculix, fotonik3d_r, namd_r,
+        // tonto).
+        if matches!(i, 4 | 9 | 13 | 18 | 23 | 27) {
+            holdout.push(app);
+        } else {
+            train_set.push(app);
+        }
+    }
+    (train_set, holdout)
+}
+
+#[derive(Serialize, Deserialize)]
+struct ModelOnDisk {
+    coeffs: [[f64; 4]; 3],
+    mse: [f64; 3],
+}
+
+/// Trains the SYNPA model on the standard split (or loads the cached fit).
+/// Returns the model and the held-out per-category MSE (§VI-A).
+pub fn trained_model() -> (SynpaModel, [f64; 3]) {
+    let path = results_dir().join("model.json");
+    if !fresh_requested() {
+        if let Some(m) = load_model(&path) {
+            return m;
+        }
+    }
+    let (train_set, _) = training_split();
+    let report = train(&train_set, &TrainingConfig::default(), threads());
+    let m = report.model;
+    let disk = ModelOnDisk {
+        coeffs: [
+            coeff_array(&m.full_dispatch),
+            coeff_array(&m.frontend),
+            coeff_array(&m.backend),
+        ],
+        mse: report.mse,
+    };
+    std::fs::write(&path, serde_json::to_string_pretty(&disk).unwrap()).expect("write model");
+    (m, report.mse)
+}
+
+fn coeff_array(c: &CategoryCoeffs) -> [f64; 4] {
+    [c.alpha, c.beta, c.gamma, c.rho]
+}
+
+fn coeff_from(a: [f64; 4]) -> CategoryCoeffs {
+    CategoryCoeffs {
+        alpha: a[0],
+        beta: a[1],
+        gamma: a[2],
+        rho: a[3],
+    }
+}
+
+fn load_model(path: &Path) -> Option<(SynpaModel, [f64; 3])> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let disk: ModelOnDisk = serde_json::from_str(&text).ok()?;
+    Some((
+        SynpaModel {
+            full_dispatch: coeff_from(disk.coeffs[0]),
+            frontend: coeff_from(disk.coeffs[1]),
+            backend: coeff_from(disk.coeffs[2]),
+        },
+        disk.mse,
+    ))
+}
+
+/// Worker threads for parallel runs.
+pub fn threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(8)
+}
+
+/// The experiment configuration used by every evaluation binary
+/// (9 repetitions, CV < 5 % outlier rule — the §V-B methodology).
+pub fn eval_config() -> ExperimentConfig {
+    ExperimentConfig {
+        reps: 9,
+        ..Default::default()
+    }
+}
+
+/// One workload×policy cell of the evaluation sweep, in serializable form.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SuiteCell {
+    /// Workload name (`be0`..`fb9`).
+    pub workload: String,
+    /// Workload family (`backend`/`frontend`/`mixed`).
+    pub kind: String,
+    /// Policy name (`linux`/`synpa`).
+    pub policy: String,
+    /// Mean turnaround time over kept repetitions (cycles).
+    pub tt_mean: f64,
+    /// Coefficient of variation of the kept repetitions.
+    pub tt_cv: f64,
+    /// Repetitions discarded by the outlier rule.
+    pub discarded: usize,
+    /// Application names, arrival order.
+    pub app_names: Vec<String>,
+    /// Mean per-app IPC.
+    pub app_ipc: Vec<f64>,
+    /// Mean per-app individual speedup (vs. isolated execution).
+    pub app_speedup: Vec<f64>,
+    /// Migrations in the exemplar repetition.
+    pub migrations: u64,
+}
+
+/// Runs (or loads) the full 20-workload × {linux, synpa} sweep that backs
+/// Figs. 5, 8 and 9. Roughly two minutes cold on 16 cores.
+pub fn evaluation_suite() -> Vec<SuiteCell> {
+    let path = results_dir().join("suite.json");
+    if !fresh_requested() {
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(cells) = serde_json::from_str::<Vec<SuiteCell>>(&text) {
+                if !cells.is_empty() {
+                    return cells;
+                }
+            }
+        }
+    }
+    let (model, _) = trained_model();
+    let cfg = eval_config();
+    let mut cells = Vec::new();
+    for w in workload::standard_suite() {
+        eprintln!("running {} ...", w.name);
+        let prepared = prepare_workload(&w, &cfg);
+        for policy in ["linux", "synpa"] {
+            let cell = match policy {
+                "linux" => run_cell(&prepared, |_| Box::new(LinuxLike), &cfg),
+                _ => run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg),
+            };
+            cells.push(SuiteCell {
+                workload: w.name.clone(),
+                kind: w.kind.to_string(),
+                policy: policy.to_string(),
+                tt_mean: cell.tt_mean,
+                tt_cv: cell.tt_cv,
+                discarded: cell.discarded,
+                app_names: cell.app_names.clone(),
+                app_ipc: cell.app_ipc.clone(),
+                app_speedup: cell.app_speedup.clone(),
+                migrations: cell.exemplar.migrations,
+            });
+        }
+    }
+    std::fs::write(&path, serde_json::to_string_pretty(&cells).unwrap()).expect("write suite");
+    cells
+}
+
+/// Finds the two cells (linux, synpa) of one workload in suite results.
+pub fn cells_of<'a>(cells: &'a [SuiteCell], workload: &str) -> (&'a SuiteCell, &'a SuiteCell) {
+    let linux = cells
+        .iter()
+        .find(|c| c.workload == workload && c.policy == "linux")
+        .expect("linux cell");
+    let synpa = cells
+        .iter()
+        .find(|c| c.workload == workload && c.policy == "synpa")
+        .expect("synpa cell");
+    (linux, synpa)
+}
+
+/// Mean of a slice (0 when empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    synpa::metrics::mean(xs)
+}
+
+/// Formats a bar of `*` characters for terminal "figures".
+pub fn bar(value: f64, scale: f64) -> String {
+    let n = (value * scale).round().max(0.0) as usize;
+    "*".repeat(n.min(120))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_22_train_6_holdout() {
+        let (t, h) = training_split();
+        assert_eq!(t.len(), 22);
+        assert_eq!(h.len(), 6);
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(1.0, 10.0), "**********");
+        assert_eq!(bar(0.0, 10.0), "");
+    }
+}

@@ -1,0 +1,76 @@
+//! Property tests: the blossom solver must agree with the exhaustive
+//! subset-DP oracle on total cost for random complete graphs, and always
+//! produce a valid perfect pairing.
+
+use proptest::prelude::*;
+use synpa_matching::{exhaustive_min_pairing, greedy_min_pairing, min_cost_pairing};
+
+fn cost_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    // Symmetric random costs in [0, 10) with 3 decimal places (keeps the
+    // fixed-point conversion exact).
+    proptest::collection::vec(proptest::collection::vec(0u32..10_000, n), n).prop_map(
+        move |raw| {
+            let mut c = vec![vec![0.0; n]; n];
+            for u in 0..n {
+                for v in u + 1..n {
+                    let w = raw[u][v] as f64 / 1000.0;
+                    c[u][v] = w;
+                    c[v][u] = w;
+                }
+            }
+            c
+        },
+    )
+}
+
+fn assert_perfect(pairs: &[(usize, usize)], n: usize) {
+    let mut seen: Vec<usize> = pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..n).collect::<Vec<_>>(), "pairing must be perfect");
+}
+
+macro_rules! oracle_test {
+    ($name:ident, $n:expr) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+            #[test]
+            fn $name(costs in cost_matrix($n)) {
+                let blossom = min_cost_pairing(&costs);
+                let oracle = exhaustive_min_pairing(&costs);
+                assert_perfect(&blossom.pairs, $n);
+                assert_perfect(&oracle.pairs, $n);
+                prop_assert!(
+                    (blossom.total_cost - oracle.total_cost).abs() < 1e-6,
+                    "blossom {} vs oracle {}",
+                    blossom.total_cost,
+                    oracle.total_cost
+                );
+            }
+        }
+    };
+}
+
+oracle_test!(blossom_matches_oracle_n2, 2);
+oracle_test!(blossom_matches_oracle_n4, 4);
+oracle_test!(blossom_matches_oracle_n6, 6);
+oracle_test!(blossom_matches_oracle_n8, 8);
+oracle_test!(blossom_matches_oracle_n10, 10);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn greedy_never_beats_blossom(costs in cost_matrix(8)) {
+        let blossom = min_cost_pairing(&costs);
+        let greedy = greedy_min_pairing(&costs);
+        assert_perfect(&greedy.pairs, 8);
+        prop_assert!(blossom.total_cost <= greedy.total_cost + 1e-6);
+    }
+
+    #[test]
+    fn blossom_handles_larger_graphs(costs in cost_matrix(16)) {
+        let blossom = min_cost_pairing(&costs);
+        assert_perfect(&blossom.pairs, 16);
+        let oracle = exhaustive_min_pairing(&costs);
+        prop_assert!((blossom.total_cost - oracle.total_cost).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,196 @@
+//! The three-step dispatch-stage characterization of §III-B.
+//!
+//! Categories are expressed as **CPI components** — cycles of each category
+//! per retired instruction. This is the same representation Feliu et al.'s
+//! POWER8 CPI-accounting work uses and it is what makes the model inversion
+//! of §IV-B step 1 well-posed at runtime: SMT CPI components are directly
+//! measurable from counters, the recovered ST components sum to the
+//! (unknown) ST CPI, and slowdown falls out as `Σ C_smt / Σ C_st` without
+//! ever needing the isolated run.
+//!
+//! The three steps:
+//! 1. Raw events: `STALL_FRONTEND`, `STALL_BACKEND` cycles; the remainder of
+//!    `CPU_CYCLES` is dispatch cycles `Dc`.
+//! 2. Equivalent full-dispatch cycles `F-Dc = INST_SPEC / width`; the gap
+//!    `Dc − F-Dc` is *revealed* horizontal waste invisible to the counters.
+//! 3. Revealed waste is attributed to the backend (the paper's choice; see
+//!    [`RevealsSplit`] for the alternatives it evaluated and rejected).
+
+use synpa_sim::PmuDelta;
+
+/// How step 3 distributes the revealed horizontal waste (§III-B discusses
+/// evaluating these alternatives; the paper selects `AllToBackend`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RevealsSplit {
+    /// All revealed stalls go to the backend category (the paper's choice).
+    #[default]
+    AllToBackend,
+    /// Revealed stalls split 50/50 between frontend and backend.
+    Equal,
+    /// Revealed stalls split proportionally to the measured FE/BE stalls.
+    Proportional,
+}
+
+/// Three-category characterization of one measurement interval, in CPI
+/// components (cycles per retired instruction).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Categories {
+    /// Equivalent full-dispatch cycles per instruction (= 1/width when the
+    /// dispatch bandwidth is saturated).
+    pub full_dispatch: f64,
+    /// Frontend stall cycles per instruction.
+    pub frontend: f64,
+    /// Backend stall cycles per instruction (measured + revealed share).
+    pub backend: f64,
+}
+
+impl Categories {
+    /// Derives the categories from a counter delta (steps 1–3).
+    pub fn from_delta(d: &PmuDelta, dispatch_width: u32) -> Self {
+        Self::from_delta_with(d, dispatch_width, RevealsSplit::AllToBackend)
+    }
+
+    /// Same with an explicit step-3 policy (used by the reveals ablation).
+    pub fn from_delta_with(d: &PmuDelta, dispatch_width: u32, split: RevealsSplit) -> Self {
+        let inst = d.inst_retired.max(1) as f64;
+        let cycles = d.cpu_cycles as f64;
+        let fe_meas = d.stall_frontend as f64;
+        let be_meas = d.stall_backend as f64;
+        let dispatch_cycles = (cycles - fe_meas - be_meas).max(0.0);
+        let full_dispatch = (d.inst_spec as f64 / dispatch_width as f64).min(dispatch_cycles);
+        let revealed = dispatch_cycles - full_dispatch;
+        let (fe_extra, be_extra) = match split {
+            RevealsSplit::AllToBackend => (0.0, revealed),
+            RevealsSplit::Equal => (revealed * 0.5, revealed * 0.5),
+            RevealsSplit::Proportional => {
+                let tot = fe_meas + be_meas;
+                if tot > 0.0 {
+                    (revealed * fe_meas / tot, revealed * be_meas / tot)
+                } else {
+                    (0.0, revealed)
+                }
+            }
+        };
+        Self {
+            full_dispatch: full_dispatch / inst,
+            frontend: (fe_meas + fe_extra) / inst,
+            backend: (be_meas + be_extra) / inst,
+        }
+    }
+
+    /// Total cycles per instruction (the CPI).
+    pub fn cpi(&self) -> f64 {
+        self.full_dispatch + self.frontend + self.backend
+    }
+
+    /// The categories as an array `[full_dispatch, frontend, backend]`.
+    pub fn as_array(&self) -> [f64; 3] {
+        [self.full_dispatch, self.frontend, self.backend]
+    }
+
+    /// Builds from an array in [`Self::as_array`] order.
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Self {
+            full_dispatch: a[0],
+            frontend: a[1],
+            backend: a[2],
+        }
+    }
+
+    /// Cycle *fractions* (sum 1): the form used for workload plots
+    /// (Fig. 4/6/7), where each bar is normalized to the interval length.
+    pub fn fractions(&self) -> [f64; 3] {
+        let t = self.cpi();
+        if t <= 0.0 {
+            return [0.0; 3];
+        }
+        [
+            self.full_dispatch / t,
+            self.frontend / t,
+            self.backend / t,
+        ]
+    }
+}
+
+/// Human-readable category names, in [`Categories::as_array`] order.
+pub const CATEGORY_NAMES: [&str; 3] = ["full-dispatch", "frontend-stalls", "backend-stalls"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synpa_sim::PmuCounters;
+
+    fn delta(cycles: u64, spec: u64, fe: u64, be: u64, retired: u64) -> PmuDelta {
+        PmuCounters {
+            cpu_cycles: cycles,
+            inst_spec: spec,
+            stall_frontend: fe,
+            stall_backend: be,
+            inst_retired: retired,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn cpi_components_sum_to_cpi() {
+        // 1000 cycles, 2000 retired -> CPI 0.5.
+        let d = delta(1000, 2000, 100, 300, 2000);
+        let c = Categories::from_delta(&d, 4);
+        assert!((c.cpi() - 0.5).abs() < 1e-12, "cpi {}", c.cpi());
+    }
+
+    #[test]
+    fn step2_reveals_horizontal_waste() {
+        // 1000 cycles, no measured stalls, but only 2000 µops dispatched at
+        // width 4 -> F-Dc = 500, revealed = 500 -> backend.
+        let d = delta(1000, 2000, 0, 0, 2000);
+        let c = Categories::from_delta(&d, 4);
+        assert!((c.full_dispatch - 0.25).abs() < 1e-12);
+        assert!((c.backend - 0.25).abs() < 1e-12);
+        assert_eq!(c.frontend, 0.0);
+    }
+
+    #[test]
+    fn equal_split_divides_reveals() {
+        let d = delta(1000, 2000, 100, 100, 2000);
+        let all = Categories::from_delta_with(&d, 4, RevealsSplit::AllToBackend);
+        let eq = Categories::from_delta_with(&d, 4, RevealsSplit::Equal);
+        let revealed_per_inst = all.backend - 100.0 / 2000.0;
+        assert!((eq.frontend - (100.0 / 2000.0 + revealed_per_inst / 2.0)).abs() < 1e-12);
+        assert!((all.cpi() - eq.cpi()).abs() < 1e-12, "total is invariant");
+    }
+
+    #[test]
+    fn proportional_split_follows_measured_ratio() {
+        // FE:BE measured 1:3 -> reveals split 1:3.
+        let d = delta(1000, 1200, 100, 300, 1200);
+        let p = Categories::from_delta_with(&d, 4, RevealsSplit::Proportional);
+        let a = Categories::from_delta_with(&d, 4, RevealsSplit::AllToBackend);
+        let revealed = a.backend - 300.0 / 1200.0;
+        assert!((p.frontend - (100.0 / 1200.0 + revealed * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_normalize_to_one() {
+        let d = delta(1000, 800, 250, 450, 800);
+        let f = Categories::from_delta(&d, 4).fractions();
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roundtrip_array() {
+        let c = Categories {
+            full_dispatch: 0.1,
+            frontend: 0.2,
+            backend: 0.3,
+        };
+        assert_eq!(Categories::from_array(c.as_array()), c);
+    }
+
+    #[test]
+    fn zero_instructions_does_not_divide_by_zero() {
+        let d = delta(1000, 0, 500, 500, 0);
+        let c = Categories::from_delta(&d, 4);
+        assert!(c.cpi().is_finite());
+    }
+}

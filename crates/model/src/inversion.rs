@@ -1,0 +1,234 @@
+//! Model inversion (§IV-B step 1): recovering single-threaded category
+//! values from SMT observations.
+//!
+//! During SMT execution the ST values the forward model needs are not
+//! measurable. Following Feliu et al., the interference model is inverted:
+//! for each category, the two observations
+//!
+//! ```text
+//! c_ij = α + β·x + γ·y + ρ·x·y      (app i's SMT value, co-runner j)
+//! c_ji = α + β·y + γ·x + ρ·x·y      (app j's SMT value, co-runner i)
+//! ```
+//!
+//! form a 2×2 (mildly) nonlinear system in the unknown ST values `x, y`,
+//! solved here with Newton's method; when ρ = 0 the system is linear and
+//! converges in one step.
+
+use crate::categories::Categories;
+use crate::regression::{CategoryCoeffs, SynpaModel};
+
+/// Newton iterations before giving up (the system is near-linear, so this
+/// is generous).
+const MAX_ITERS: usize = 60;
+const TOL: f64 = 1e-10;
+
+/// Solves one category's 2×2 system. Returns the recovered `(x, y)` =
+/// `(C_st_i, C_st_j)`, clamped to be non-negative.
+pub fn invert_category(coeffs: &CategoryCoeffs, c_ij: f64, c_ji: f64) -> (f64, f64) {
+    let CategoryCoeffs {
+        alpha,
+        beta,
+        gamma,
+        rho,
+    } = *coeffs;
+    // Initial guess: ignore γ and ρ.
+    let denom = if beta.abs() > 1e-9 { beta } else { 1.0 };
+    let mut x = ((c_ij - alpha) / denom).max(0.0);
+    let mut y = ((c_ji - alpha) / denom).max(0.0);
+    for _ in 0..MAX_ITERS {
+        let f1 = alpha + beta * x + gamma * y + rho * x * y - c_ij;
+        let f2 = alpha + beta * y + gamma * x + rho * x * y - c_ji;
+        if f1.abs() < TOL && f2.abs() < TOL {
+            break;
+        }
+        // Jacobian.
+        let j11 = beta + rho * y;
+        let j12 = gamma + rho * x;
+        let j21 = gamma + rho * y;
+        let j22 = beta + rho * x;
+        let det = j11 * j22 - j12 * j21;
+        if det.abs() < 1e-12 {
+            break;
+        }
+        let dx = (f1 * j22 - f2 * j12) / det;
+        let dy = (f2 * j11 - f1 * j21) / det;
+        x -= dx;
+        y -= dy;
+        if dx.abs() < TOL && dy.abs() < TOL {
+            break;
+        }
+    }
+    (x.max(0.0), y.max(0.0))
+}
+
+/// Inverts the full three-category model: from the two threads' observed
+/// SMT categories, recover both threads' estimated ST categories.
+pub fn invert(model: &SynpaModel, smt_ij: &Categories, smt_ji: &Categories) -> (Categories, Categories) {
+    let (fd_i, fd_j) = invert_category(
+        &model.full_dispatch,
+        smt_ij.full_dispatch,
+        smt_ji.full_dispatch,
+    );
+    let (fe_i, fe_j) = invert_category(&model.frontend, smt_ij.frontend, smt_ji.frontend);
+    let (be_i, be_j) = invert_category(&model.backend, smt_ij.backend, smt_ji.backend);
+    (
+        Categories {
+            full_dispatch: fd_i,
+            frontend: fe_i,
+            backend: be_i,
+        },
+        Categories {
+            full_dispatch: fd_j,
+            frontend: fe_j,
+            backend: be_j,
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> SynpaModel {
+        // Coefficients with the Table IV structure: FE has γ=ρ=0, FD has a
+        // small interaction term, BE is strongly co-runner dependent.
+        SynpaModel {
+            full_dispatch: CategoryCoeffs {
+                alpha: 0.007,
+                beta: 0.906,
+                gamma: 0.004,
+                rho: 0.031,
+            },
+            frontend: CategoryCoeffs {
+                alpha: 0.237,
+                beta: 1.411,
+                gamma: 0.0,
+                rho: 0.0,
+            },
+            backend: CategoryCoeffs {
+                alpha: 0.207,
+                beta: 0.343,
+                gamma: 1.439,
+                rho: 0.0,
+            },
+        }
+    }
+
+    #[test]
+    fn forward_then_invert_roundtrips() {
+        let m = model();
+        let st_i = Categories {
+            full_dispatch: 0.3,
+            frontend: 0.5,
+            backend: 1.2,
+        };
+        let st_j = Categories {
+            full_dispatch: 0.25,
+            frontend: 0.1,
+            backend: 2.4,
+        };
+        let smt_ij = m.predict(&st_i, &st_j);
+        let smt_ji = m.predict(&st_j, &st_i);
+        let (rec_i, rec_j) = invert(&m, &smt_ij, &smt_ji);
+        for (got, want) in rec_i.as_array().iter().zip(st_i.as_array()) {
+            assert!((got - want).abs() < 1e-6, "i: got {got}, want {want}");
+        }
+        for (got, want) in rec_j.as_array().iter().zip(st_j.as_array()) {
+            assert!((got - want).abs() < 1e-6, "j: got {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn linear_category_inverts_exactly() {
+        let c = CategoryCoeffs {
+            alpha: 0.2,
+            beta: 1.4,
+            gamma: 0.0,
+            rho: 0.0,
+        };
+        let (x, y) = invert_category(&c, c.predict(0.7, 0.3), c.predict(0.3, 0.7));
+        assert!((x - 0.7).abs() < 1e-9);
+        assert!((y - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonlinear_category_inverts() {
+        let c = CategoryCoeffs {
+            alpha: 0.05,
+            beta: 0.9,
+            gamma: 0.2,
+            rho: 0.5,
+        };
+        let (x0, y0) = (0.6, 1.1);
+        let (x, y) = invert_category(&c, c.predict(x0, y0), c.predict(y0, x0));
+        assert!((x - x0).abs() < 1e-7, "x {x}");
+        assert!((y - y0).abs() < 1e-7, "y {y}");
+    }
+
+    #[test]
+    fn results_are_clamped_non_negative() {
+        let c = CategoryCoeffs {
+            alpha: 0.5,
+            beta: 1.0,
+            gamma: 0.0,
+            rho: 0.0,
+        };
+        // Observation below alpha implies a negative ST value; clamp to 0.
+        let (x, y) = invert_category(&c, 0.1, 0.1);
+        assert_eq!(x, 0.0);
+        assert_eq!(y, 0.0);
+    }
+
+    #[test]
+    fn asymmetric_observations_give_asymmetric_st() {
+        // Asymmetric ST inputs produce asymmetric SMT observations; the
+        // inversion must recover the asymmetry (C_smt[i,j] != C_smt[j,i],
+        // §IV-A: the relation is not symmetric).
+        let m = model();
+        let st_mem = Categories {
+            full_dispatch: 0.26,
+            frontend: 0.05,
+            backend: 2.8,
+        };
+        let st_fe = Categories {
+            full_dispatch: 0.3,
+            frontend: 1.2,
+            backend: 0.2,
+        };
+        let smt_ij = m.predict(&st_mem, &st_fe);
+        let smt_ji = m.predict(&st_fe, &st_mem);
+        assert!(smt_ij != smt_ji, "SMT observations are not symmetric");
+        let (rec_i, rec_j) = invert(&m, &smt_ij, &smt_ji);
+        assert!(rec_i != rec_j);
+        assert!(
+            rec_i.backend > rec_j.backend,
+            "the memory-bound thread's recovered ST backend must dominate"
+        );
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn inversion_is_consistent_with_forward_model(
+            fd_i in 0.05f64..0.5, fe_i in 0.0f64..2.0, be_i in 0.0f64..4.0,
+            fd_j in 0.05f64..0.5, fe_j in 0.0f64..2.0, be_j in 0.0f64..4.0,
+        ) {
+            let m = model();
+            let st_i = Categories { full_dispatch: fd_i, frontend: fe_i, backend: be_i };
+            let st_j = Categories { full_dispatch: fd_j, frontend: fe_j, backend: be_j };
+            let smt_ij = m.predict(&st_i, &st_j);
+            let smt_ji = m.predict(&st_j, &st_i);
+            let (rec_i, rec_j) = invert(&m, &smt_ij, &smt_ji);
+            // Re-applying the forward model to the recovered values must
+            // reproduce the observations (the recovered values themselves may
+            // differ from the originals only in degenerate regions).
+            let re_ij = m.predict(&rec_i, &rec_j);
+            let re_ji = m.predict(&rec_j, &rec_i);
+            for (a, b) in re_ij.as_array().iter().zip(smt_ij.as_array()) {
+                proptest::prop_assert!((a - b).abs() < 1e-5, "ij: {a} vs {b}");
+            }
+            for (a, b) in re_ji.as_array().iter().zip(smt_ji.as_array()) {
+                proptest::prop_assert!((a - b).abs() < 1e-5, "ji: {a} vs {b}");
+            }
+        }
+    }
+}

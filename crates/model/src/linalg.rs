@@ -1,0 +1,198 @@
+//! Minimal dense linear algebra: just enough to solve the 4×4 (and, for the
+//! ablation models, up to ~12×12) normal-equation systems produced by
+//! ordinary least squares. Gaussian elimination with partial pivoting.
+
+/// Solves `A x = b` in place for square `A`. Returns `None` if the matrix is
+/// singular to working precision.
+pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = a.len();
+    assert!(a.iter().all(|r| r.len() == n), "matrix must be square");
+    assert_eq!(b.len(), n, "rhs length must match");
+    for col in 0..n {
+        // Partial pivot.
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().total_cmp(&a[j][col].abs()))
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below.
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut s = b[row];
+        for k in row + 1..n {
+            s -= a[row][k] * x[k];
+        }
+        x[row] = s / a[row][row];
+    }
+    Some(x)
+}
+
+/// Ordinary least squares: finds `beta` minimizing `‖X beta − y‖²` via the
+/// normal equations. `rows` are the design-matrix rows; all must share the
+/// same width. Returns `None` when `XᵀX` is singular (e.g. degenerate data).
+pub fn least_squares(rows: &[Vec<f64>], y: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(rows.len(), y.len(), "one response per row");
+    let k = rows.first().map(|r| r.len()).unwrap_or(0);
+    if k == 0 || rows.len() < k {
+        return None;
+    }
+    let mut xtx = vec![vec![0.0; k]; k];
+    let mut xty = vec![0.0; k];
+    for (row, &yi) in rows.iter().zip(y) {
+        assert_eq!(row.len(), k, "ragged design matrix");
+        for a in 0..k {
+            xty[a] += row[a] * yi;
+            for b in 0..k {
+                xtx[a][b] += row[a] * row[b];
+            }
+        }
+    }
+    solve(xtx, xty)
+}
+
+/// Spearman rank correlation between two equally long samples.
+/// Returns 0 for degenerate inputs (fewer than 2 points or zero variance).
+pub fn spearman(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let n = a.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let rank = |v: &[f64]| -> Vec<f64> {
+        let mut order: Vec<usize> = (0..v.len()).collect();
+        order.sort_by(|&i, &j| v[i].total_cmp(&v[j]));
+        let mut r = vec![0.0; v.len()];
+        for (k, &i) in order.iter().enumerate() {
+            r[i] = k as f64;
+        }
+        r
+    };
+    let (ra, rb) = (rank(a), rank(b));
+    let m = (n as f64 - 1.0) / 2.0;
+    let cov: f64 = ra.iter().zip(&rb).map(|(x, y)| (x - m) * (y - m)).sum();
+    let var: f64 = ra.iter().map(|x| (x - m) * (x - m)).sum();
+    if var == 0.0 {
+        0.0
+    } else {
+        cov / var
+    }
+}
+
+/// Mean squared error of predictions vs. observations.
+pub fn mse(pred: &[f64], obs: &[f64]) -> f64 {
+    assert_eq!(pred.len(), obs.len());
+    if pred.is_empty() {
+        return 0.0;
+    }
+    pred.iter()
+        .zip(obs)
+        .map(|(p, o)| (p - o) * (p - o))
+        .sum::<f64>()
+        / pred.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let x = solve(a, vec![3.0, 4.0]).unwrap();
+        assert_eq!(x, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    fn solves_general_3x3() {
+        let a = vec![
+            vec![2.0, 1.0, -1.0],
+            vec![-3.0, -1.0, 2.0],
+            vec![-2.0, 1.0, 2.0],
+        ];
+        let x = solve(a, vec![8.0, -11.0, -3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+        assert!((x[2] + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn detects_singular() {
+        let a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        assert!(solve(a, vec![1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let x = solve(a, vec![5.0, 7.0]).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn least_squares_recovers_exact_linear_model() {
+        // y = 1 + 2a + 3b, noise-free.
+        let rows: Vec<Vec<f64>> = (0..20)
+            .map(|i| {
+                let a = i as f64 * 0.1;
+                let b = (i % 5) as f64;
+                vec![1.0, a, b]
+            })
+            .collect();
+        let y: Vec<f64> = rows.iter().map(|r| 1.0 + 2.0 * r[1] + 3.0 * r[2]).collect();
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 1.0).abs() < 1e-9);
+        assert!((beta[1] - 2.0).abs() < 1e-9);
+        assert!((beta[2] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // Constant model fitted to noisy data = mean.
+        let rows = vec![vec![1.0]; 4];
+        let y = vec![1.0, 2.0, 3.0, 4.0];
+        let beta = least_squares(&rows, &y).unwrap();
+        assert!((beta[0] - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_rejects_underdetermined() {
+        let rows = vec![vec![1.0, 2.0, 3.0]];
+        assert!(least_squares(&rows, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn spearman_perfect_and_inverse() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [10.0, 20.0, 30.0, 40.0];
+        assert!((spearman(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [4.0, 3.0, 2.0, 1.0];
+        assert!((spearman(&b, &c) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_degenerate_is_zero() {
+        assert_eq!(spearman(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn mse_basics() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 4.0]), 2.0);
+        assert_eq!(mse(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,31 @@
+//! # synpa-sched — the SYNPA thread-allocation policy and its baselines
+//!
+//! The paper's user-level manager (§V-A) rebuilt against the simulator:
+//!
+//! * [`Policy`] — the per-quantum decision interface (counters in,
+//!   placement out);
+//! * [`Synpa`] — the full policy of §IV-B: characterize → invert → predict
+//!   every pair → Blossom-optimal pairing;
+//! * [`LinuxLike`] — the arrival-order static baseline the paper compares
+//!   against, plus [`RandomPairing`] and [`OracleSynpa`] ablations;
+//! * [`run_workload`] — the quantum loop with the §V-B relaunch
+//!   methodology;
+//! * [`run_cell`] / [`prepare_workload`] — the repetition + outlier-discard
+//!   experiment driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod manager;
+mod policy;
+mod runner;
+
+pub use manager::{run_workload, AppResult, ManagerConfig, QuantumRow, RunResult};
+pub use policy::{
+    pairs_to_slots, GreedySynpa, LinuxLike, OracleSynpa, Policy, QuantumView, RandomPairing,
+    StaticPairs, Synpa,
+};
+pub use runner::{
+    cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome,
+    ExperimentConfig, PreparedWorkload,
+};

@@ -1,0 +1,305 @@
+//! The quantum manager: the reproduction of the paper's user-level thread
+//! manager (§V-A).
+//!
+//! Owns the chip, places the workload's applications, and at every quantum
+//! boundary reads the PMU deltas, logs the characterization (the raw
+//! material for Figs. 6/7 and Table V), asks the policy for a placement and
+//! applies it. The §V-B methodology is built in: each application runs to a
+//! target instruction count and is relaunched immediately so the machine
+//! load stays constant; the workload is finished when the slowest
+//! application completes its first launch.
+
+use crate::policy::{Policy, QuantumView};
+use synpa_apps::AppProfile;
+use synpa_counters::SamplingSession;
+use synpa_model::Categories;
+use synpa_sim::{Chip, ChipConfig, Slot, ThreadProgram};
+
+/// One application's per-quantum log row.
+#[derive(Debug, Clone, Copy)]
+pub struct QuantumRow {
+    /// Quantum ordinal.
+    pub quantum: u64,
+    /// Application id (workload arrival index).
+    pub app: usize,
+    /// Measured SMT categories (CPI components) this quantum.
+    pub categories: Categories,
+    /// Co-runner app id during this quantum.
+    pub co_runner: usize,
+    /// Instructions retired this quantum.
+    pub retired: u64,
+    /// Cycles observed this quantum.
+    pub cycles: u64,
+}
+
+impl QuantumRow {
+    /// Dominant dispatch-stall behaviour this quantum: `true` if frontend
+    /// stalls exceed backend stalls (used by the Table V classification).
+    pub fn is_frontend_behaving(&self) -> bool {
+        self.categories.frontend > self.categories.backend
+    }
+}
+
+/// Final per-application result.
+#[derive(Debug, Clone)]
+pub struct AppResult {
+    /// Workload arrival index.
+    pub app: usize,
+    /// Application name.
+    pub name: String,
+    /// Target instructions per launch (§V-B).
+    pub target: u64,
+    /// Cycle at which the first launch completed (the app's turnaround
+    /// time).
+    pub tt_cycles: u64,
+    /// IPC over the first launch (`target / tt_cycles`).
+    pub ipc: f64,
+    /// Isolated-execution IPC reference (from target-length measurement).
+    pub solo_ipc: f64,
+}
+
+impl AppResult {
+    /// Individual speedup vs. isolated execution (≤ 1 under interference);
+    /// the quantity fairness is computed over (§VI-D).
+    pub fn individual_speedup(&self) -> f64 {
+        self.ipc / self.solo_ipc
+    }
+}
+
+/// Result of running one workload under one policy.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Policy name.
+    pub policy: String,
+    /// Workload turnaround time: the slowest application's first-launch
+    /// completion, in cycles (§VI-B).
+    pub tt_cycles: u64,
+    /// Per-application outcomes, in arrival order.
+    pub per_app: Vec<AppResult>,
+    /// Full per-quantum trace (Fig. 6/7, Table V raw data).
+    pub trace: Vec<QuantumRow>,
+    /// Quanta executed.
+    pub quanta: u64,
+    /// Thread migrations performed (core changes).
+    pub migrations: u64,
+}
+
+/// Manager configuration.
+#[derive(Debug, Clone)]
+pub struct ManagerConfig {
+    /// Chip to simulate (the evaluation uses 4 SMT2 cores for 8 apps).
+    pub chip: ChipConfig,
+    /// Cycles per scheduling quantum (the paper's 100 ms, scaled).
+    pub quantum_cycles: u64,
+    /// Hard cap on quanta (safety against livelock).
+    pub max_quanta: u64,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        Self {
+            chip: ChipConfig::thunderx2(4),
+            quantum_cycles: 10_000,
+            max_quanta: 3_000,
+        }
+    }
+}
+
+/// Runs `apps` (with launch targets already set) under `policy` until every
+/// application finishes its first launch.
+///
+/// `solo_ipc[k]` is app *k*'s isolated IPC reference. Initial placement is
+/// arrival order — app *k* shares core *k mod cores* with app *k + n/2*,
+/// matching the Linux placement observed in §VI-C.
+pub fn run_workload(
+    apps: &[AppProfile],
+    solo_ipc: &[f64],
+    policy: &mut dyn Policy,
+    cfg: &ManagerConfig,
+) -> RunResult {
+    let n = apps.len();
+    let slots = cfg.chip.hw_threads();
+    assert_eq!(n, slots, "workload size must fill every hardware thread");
+    assert_eq!(solo_ipc.len(), n);
+    let smt = cfg.chip.core.smt_ways as usize;
+    let width = cfg.chip.core.dispatch_width;
+
+    let mut chip = Chip::new(cfg.chip.clone());
+    // Arrival-order initial placement: app k (k < n/2) on ctx 0 of core k,
+    // app k+n/2 on ctx 1 of core k.
+    for (k, app) in apps.iter().enumerate() {
+        let slot = if k < n / 2 {
+            Slot(k * smt)
+        } else {
+            Slot((k - n / 2) * smt + 1)
+        };
+        chip.attach(slot, k, Box::new(app.clone()));
+    }
+
+    let ids: Vec<usize> = (0..n).collect();
+    let mut session = SamplingSession::new();
+    let mut trace = Vec::new();
+    let mut tt: Vec<Option<u64>> = vec![None; n];
+    let mut migrations = 0u64;
+    let mut quantum = 0u64;
+
+    while quantum < cfg.max_quanta && tt.iter().any(|t| t.is_none()) {
+        let events = chip.run_cycles(cfg.quantum_cycles);
+        for ev in events {
+            if ev.launch == 0 && tt[ev.app_id].is_none() {
+                tt[ev.app_id] = Some(ev.cycle);
+            }
+        }
+        let samples = session.sample(&chip, &ids);
+        let placement = chip.placement();
+
+        // Log the quantum for every app.
+        let co_runner_of = |app: usize| -> usize {
+            let slot = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
+            let core = slot.core(smt);
+            placement
+                .iter()
+                .find(|&&(a, s)| a != app && s.core(smt) == core)
+                .map(|&(a, _)| a)
+                .unwrap_or(app)
+        };
+        for &(app, ref delta) in &samples {
+            trace.push(QuantumRow {
+                quantum,
+                app,
+                categories: Categories::from_delta(delta, width),
+                co_runner: co_runner_of(app),
+                retired: delta.inst_retired,
+                cycles: delta.cpu_cycles,
+            });
+        }
+
+        // Policy decision.
+        let view = QuantumView {
+            quantum,
+            samples: &samples,
+            placement: &placement,
+            smt_ways: smt,
+            dispatch_width: width,
+        };
+        if let Some(new_placement) = policy.decide(&view) {
+            for &(app, new_slot) in &new_placement {
+                let old = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
+                if old.core(smt) != new_slot.core(smt) {
+                    migrations += 1;
+                }
+            }
+            chip.set_placement(&new_placement);
+        }
+        quantum += 1;
+    }
+
+    // Apps that never finished within the cap get the cap as their TT
+    // (flagged by quanta == max_quanta).
+    let end_cycle = chip.cycle();
+    let per_app = apps
+        .iter()
+        .enumerate()
+        .map(|(k, app)| {
+            let tt_cycles = tt[k].unwrap_or(end_cycle);
+            AppResult {
+                app: k,
+                name: app.name().to_string(),
+                target: app.length(),
+                tt_cycles,
+                ipc: app.length() as f64 / tt_cycles.max(1) as f64,
+                solo_ipc: solo_ipc[k],
+            }
+        })
+        .collect::<Vec<_>>();
+    RunResult {
+        policy: policy.name().to_string(),
+        tt_cycles: per_app.iter().map(|a| a.tt_cycles).max().unwrap_or(0),
+        per_app,
+        trace,
+        quanta: quantum,
+        migrations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LinuxLike, RandomPairing};
+    use synpa_apps::spec;
+
+    fn small_workload() -> (Vec<AppProfile>, Vec<f64>) {
+        let names = [
+            "mcf", "xalancbmk_r", "gobmk", "perlbench", "nab_r", "hmmer", "leela_r", "astar",
+        ];
+        let apps: Vec<AppProfile> = names
+            .iter()
+            .map(|n| spec::by_name(n).unwrap().with_length(30_000))
+            .collect();
+        let solo = vec![1.0; 8];
+        (apps, solo)
+    }
+
+    #[test]
+    fn linux_run_completes_and_reports() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let result = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        assert_eq!(result.per_app.len(), 8);
+        assert!(result.quanta > 0);
+        assert_eq!(result.migrations, 0, "Linux never migrates");
+        assert!(result.tt_cycles > 0);
+        assert_eq!(
+            result.tt_cycles,
+            result.per_app.iter().map(|a| a.tt_cycles).max().unwrap()
+        );
+        // Every app retired its target eventually (within the quanta cap).
+        assert!(result.quanta < cfg.max_quanta, "workload should finish");
+    }
+
+    #[test]
+    fn trace_rows_cover_every_app_every_quantum() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let result = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        let rows_q0: Vec<_> = result.trace.iter().filter(|r| r.quantum == 0).collect();
+        assert_eq!(rows_q0.len(), 8);
+        // Co-runner symmetry within a quantum.
+        for r in &rows_q0 {
+            let partner = rows_q0.iter().find(|p| p.app == r.co_runner).unwrap();
+            assert_eq!(partner.co_runner, r.app);
+        }
+    }
+
+    #[test]
+    fn random_policy_migrates() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let mut policy = RandomPairing::new(3);
+        let result = run_workload(&apps, &solo, &mut policy, &cfg);
+        assert!(result.migrations > 0, "random repairing must move threads");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let a = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        let b = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        assert_eq!(a.tt_cycles, b.tt_cycles);
+        assert_eq!(a.quanta, b.quanta);
+    }
+
+    #[test]
+    fn individual_speedup_uses_solo_reference() {
+        let r = AppResult {
+            app: 0,
+            name: "x".into(),
+            target: 1000,
+            tt_cycles: 2000,
+            ipc: 0.5,
+            solo_ipc: 1.0,
+        };
+        assert!((r.individual_speedup() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,694 @@
+//! Thread-to-core allocation policies.
+//!
+//! A policy sees, once per quantum, the four PMU events of every running
+//! application plus the current placement, and may re-place applications on
+//! hardware-thread slots (the `sched_setaffinity` analogue). This is the
+//! exact interface the paper's user-level manager works against.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use synpa_matching::min_cost_pairing;
+use synpa_model::{invert, Categories, SynpaModel};
+use synpa_sim::{PmuDelta, Slot};
+
+/// Everything a policy may observe at a quantum boundary.
+#[derive(Debug)]
+pub struct QuantumView<'a> {
+    /// Quantum ordinal (0 = first decision).
+    pub quantum: u64,
+    /// Per-application counter deltas over the elapsed quantum.
+    pub samples: &'a [(usize, PmuDelta)],
+    /// Current placement (app id → slot).
+    pub placement: &'a [(usize, Slot)],
+    /// SMT contexts per core.
+    pub smt_ways: usize,
+    /// Dispatch width (needed for the category characterization).
+    pub dispatch_width: u32,
+}
+
+impl QuantumView<'_> {
+    /// Current co-runner pairs, as `(app_on_ctx0, app_on_ctx1)` per core.
+    pub fn pairs(&self) -> Vec<(usize, usize)> {
+        let mut by_core: std::collections::BTreeMap<usize, Vec<(usize, usize)>> =
+            std::collections::BTreeMap::new();
+        for &(app, slot) in self.placement {
+            by_core
+                .entry(slot.core(self.smt_ways))
+                .or_default()
+                .push((slot.ctx(self.smt_ways), app));
+        }
+        by_core
+            .into_values()
+            .filter(|v| v.len() == 2)
+            .map(|mut v| {
+                v.sort_unstable();
+                (v[0].1, v[1].1)
+            })
+            .collect()
+    }
+
+    /// The counter delta of one application, if sampled this quantum.
+    pub fn delta_of(&self, app: usize) -> Option<&PmuDelta> {
+        self.samples.iter().find(|(id, _)| *id == app).map(|(_, d)| d)
+    }
+}
+
+/// A thread-to-core allocation policy.
+pub trait Policy: Send {
+    /// Human-readable policy name (used in experiment output).
+    fn name(&self) -> &'static str;
+
+    /// Decides the placement for the next quantum. `None` keeps the current
+    /// placement (no migrations).
+    fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>>;
+}
+
+/// Assigns pairs to cores, keeping each pair on a core that already hosts
+/// one of its members when possible (minimizes migrations).
+pub fn pairs_to_slots(
+    pairs: &[(usize, usize)],
+    current: &[(usize, Slot)],
+    smt_ways: usize,
+) -> Vec<(usize, Slot)> {
+    let core_of = |app: usize| -> Option<usize> {
+        current
+            .iter()
+            .find(|&&(a, _)| a == app)
+            .map(|&(_, s)| s.core(smt_ways))
+    };
+    let n_cores = pairs.len();
+    let mut taken = vec![false; n_cores];
+    let mut assignment: Vec<Option<usize>> = vec![None; pairs.len()];
+    // First pass: pairs that can stay on one member's current core.
+    for (i, &(a, b)) in pairs.iter().enumerate() {
+        for app in [a, b] {
+            if let Some(c) = core_of(app) {
+                if c < n_cores && !taken[c] {
+                    taken[c] = true;
+                    assignment[i] = Some(c);
+                    break;
+                }
+            }
+        }
+    }
+    // Second pass: everything else takes a free core.
+    let mut free = (0..n_cores).filter(|&c| !taken[c]).collect::<Vec<_>>();
+    for slot in &mut assignment {
+        if slot.is_none() {
+            *slot = Some(free.pop().expect("cores and pairs are 1:1"));
+        }
+    }
+    pairs
+        .iter()
+        .zip(assignment)
+        .flat_map(|(&(a, b), core)| {
+            let c = core.unwrap();
+            [(a, Slot(c * smt_ways)), (b, Slot(c * smt_ways + 1))]
+        })
+        .collect()
+}
+
+/// The Linux-CFS-like baseline of the paper (§VI-C): applications are
+/// paired by arrival order (app *k* with app *k + n/2*) and never migrate —
+/// "once allocated, an application remains in the core until its execution
+/// finishes". The initial placement already encodes this, so the policy
+/// never moves anything.
+#[derive(Debug, Default)]
+pub struct LinuxLike;
+
+impl Policy for LinuxLike {
+    fn name(&self) -> &'static str {
+        "linux"
+    }
+
+    fn decide(&mut self, _view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        None
+    }
+}
+
+/// Uniform-random perfect pairing every quantum. A sanity baseline: pays
+/// migration costs without any intelligence.
+pub struct RandomPairing {
+    rng: StdRng,
+}
+
+impl RandomPairing {
+    /// Seeded for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Policy for RandomPairing {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        let mut apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
+        apps.shuffle(&mut self.rng);
+        let pairs: Vec<(usize, usize)> = apps.chunks(2).map(|c| (c[0], c[1])).collect();
+        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+    }
+}
+
+/// The SYNPA policy (§IV-B): per quantum, characterize each thread's SMT
+/// categories, invert the model per current pair to estimate ST values,
+/// predict the slowdown of every possible pair, and select the globally
+/// optimal pairing with the Blossom algorithm.
+pub struct Synpa {
+    model: SynpaModel,
+    /// Latest ST estimate per app id (kept across quanta so estimates
+    /// survive short sampling hiccups).
+    st_estimates: std::collections::HashMap<usize, Categories>,
+    /// Exponential smoothing factor for ST estimates across quanta
+    /// (1.0 = use only the latest quantum; lower values damp sampling noise
+    /// so near-tie pairings don't flip every quantum).
+    pub smoothing: f64,
+    /// Minimum fractional predicted improvement required to migrate. The
+    /// quantum is short relative to the cold-cache cost of a move, so
+    /// re-pairing for sub-percent predicted gains loses money.
+    pub hysteresis: f64,
+    /// Minimum quanta between migrations (cold caches need time to
+    /// re-warm before the next decision is trustworthy).
+    pub cooldown: u64,
+    last_migration: Option<u64>,
+}
+
+impl Synpa {
+    /// Builds the policy around trained model coefficients.
+    pub fn new(model: SynpaModel) -> Self {
+        Self {
+            model,
+            st_estimates: std::collections::HashMap::new(),
+            smoothing: 0.6,
+            hysteresis: 0.02,
+            cooldown: 3,
+            last_migration: None,
+        }
+    }
+
+    /// Disables smoothing and hysteresis (decisions from the latest quantum
+    /// only — the paper's literal per-quantum behaviour).
+    pub fn without_damping(mut self) -> Self {
+        self.smoothing = 1.0;
+        self.hysteresis = 0.0;
+        self.cooldown = 0;
+        self
+    }
+
+    /// Current ST estimate of an app (for diagnostics).
+    pub fn st_estimate(&self, app: usize) -> Option<&Categories> {
+        self.st_estimates.get(&app)
+    }
+
+    /// The model the policy predicts with.
+    pub fn model(&self) -> &SynpaModel {
+        &self.model
+    }
+}
+
+impl Policy for Synpa {
+    fn name(&self) -> &'static str {
+        "synpa"
+    }
+
+    fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        // Step 1: invert the model per current pair to recover ST values.
+        for (a, b) in view.pairs() {
+            let (Some(da), Some(db)) = (view.delta_of(a), view.delta_of(b)) else {
+                continue;
+            };
+            if da.inst_retired == 0 || db.inst_retired == 0 {
+                continue;
+            }
+            let smt_a = Categories::from_delta(da, view.dispatch_width);
+            let smt_b = Categories::from_delta(db, view.dispatch_width);
+            let (st_a, st_b) = invert(&self.model, &smt_a, &smt_b);
+            let alpha = self.smoothing;
+            for (app, st) in [(a, st_a), (b, st_b)] {
+                let entry = self.st_estimates.entry(app).or_insert(st);
+                *entry = Categories::from_array([
+                    entry.as_array()[0] * (1.0 - alpha) + st.as_array()[0] * alpha,
+                    entry.as_array()[1] * (1.0 - alpha) + st.as_array()[1] * alpha,
+                    entry.as_array()[2] * (1.0 - alpha) + st.as_array()[2] * alpha,
+                ]);
+            }
+        }
+
+        // Until every app has an estimate, keep the current placement.
+        let apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
+        if !apps.iter().all(|a| self.st_estimates.contains_key(a)) {
+            return None;
+        }
+
+        // Step 2: predict the slowdown of every pair.
+        let n = apps.len();
+        let mut costs = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let st_i = &self.st_estimates[&apps[i]];
+                let st_j = &self.st_estimates[&apps[j]];
+                costs[i][j] = self.model.predict_slowdown(st_i, st_j);
+            }
+        }
+
+        // Step 3: Blossom-optimal pairing, then place with minimal moves.
+        let pairing = min_cost_pairing(&costs);
+        let pairs: Vec<(usize, usize)> = pairing
+            .pairs
+            .iter()
+            .map(|&(i, j)| (apps[i], apps[j]))
+            .collect();
+
+        // Hysteresis: compare against the predicted cost of keeping the
+        // current pairing; migrate only for a material predicted gain.
+        let idx_of: std::collections::HashMap<usize, usize> =
+            apps.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+        let current_cost: f64 = view
+            .pairs()
+            .iter()
+            .map(|&(a, b)| costs[idx_of[&a]][idx_of[&b]] + costs[idx_of[&b]][idx_of[&a]])
+            .sum();
+        let optimal_cost: f64 = pairing
+            .pairs
+            .iter()
+            .map(|&(i, j)| costs[i][j] + costs[j][i])
+            .sum();
+        if optimal_cost >= current_cost * (1.0 - self.hysteresis) {
+            return None;
+        }
+        if let Some(last) = self.last_migration {
+            if view.quantum < last + self.cooldown {
+                return None;
+            }
+        }
+        self.last_migration = Some(view.quantum);
+        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+    }
+}
+
+/// A fixed pairing applied once at the first quantum and never revisited.
+/// Used by the exhaustive ground-truth search (`examples/exhaustive_pairing`)
+/// and handy for pinning down a known-good allocation.
+pub struct StaticPairs {
+    pairs: Vec<(usize, usize)>,
+    applied: bool,
+}
+
+impl StaticPairs {
+    /// Builds the policy from explicit app-id pairs.
+    pub fn new(pairs: Vec<(usize, usize)>) -> Self {
+        Self {
+            pairs,
+            applied: false,
+        }
+    }
+}
+
+impl Policy for StaticPairs {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        if self.applied {
+            return None;
+        }
+        self.applied = true;
+        Some(pairs_to_slots(&self.pairs, view.placement, view.smt_ways))
+    }
+}
+
+/// SYNPA with the greedy matcher instead of Blossom: same model, same
+/// inversion, but pairs are chosen cheapest-edge-first. The matching
+/// ablation — how much of SYNPA's gain is the *optimal* pairing?
+pub struct GreedySynpa {
+    inner: Synpa,
+}
+
+impl GreedySynpa {
+    /// Wraps a SYNPA policy, replacing its matcher.
+    pub fn new(model: SynpaModel) -> Self {
+        Self {
+            inner: Synpa::new(model),
+        }
+    }
+}
+
+impl Policy for GreedySynpa {
+    fn name(&self) -> &'static str {
+        "greedy-synpa"
+    }
+
+    fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        // Reuse SYNPA's estimation machinery, then re-pair greedily over the
+        // same predicted costs.
+        let blossom_decision = self.inner.decide(view)?;
+        let apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
+        let n = apps.len();
+        let mut costs = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    let (Some(si), Some(sj)) = (
+                        self.inner.st_estimate(apps[i]),
+                        self.inner.st_estimate(apps[j]),
+                    ) else {
+                        return Some(blossom_decision);
+                    };
+                    costs[i][j] = self.inner.model().predict_slowdown(si, sj);
+                }
+            }
+        }
+        let pairing = synpa_matching::greedy_min_pairing(&costs);
+        let pairs: Vec<(usize, usize)> = pairing
+            .pairs
+            .iter()
+            .map(|&(i, j)| (apps[i], apps[j]))
+            .collect();
+        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+    }
+}
+
+/// Oracle variant of SYNPA: uses externally supplied *true* ST categories
+/// (measured in isolation) instead of runtime inversion. Upper-bounds what
+/// better inversion accuracy could buy — an ablation the experiments report.
+pub struct OracleSynpa {
+    model: SynpaModel,
+    /// True ST categories per app id.
+    st_true: std::collections::HashMap<usize, Categories>,
+}
+
+impl OracleSynpa {
+    /// Builds the oracle from measured isolated categories.
+    pub fn new(model: SynpaModel, st_true: Vec<(usize, Categories)>) -> Self {
+        Self {
+            model,
+            st_true: st_true.into_iter().collect(),
+        }
+    }
+}
+
+impl Policy for OracleSynpa {
+    fn name(&self) -> &'static str {
+        "oracle"
+    }
+
+    fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        let apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
+        if !apps.iter().all(|a| self.st_true.contains_key(a)) {
+            return None;
+        }
+        let n = apps.len();
+        let mut costs = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    costs[i][j] = self
+                        .model
+                        .predict_slowdown(&self.st_true[&apps[i]], &self.st_true[&apps[j]]);
+                }
+            }
+        }
+        let pairing = min_cost_pairing(&costs);
+        let pairs: Vec<(usize, usize)> = pairing
+            .pairs
+            .iter()
+            .map(|&(i, j)| (apps[i], apps[j]))
+            .collect();
+        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synpa_model::CategoryCoeffs;
+    use synpa_sim::PmuCounters;
+
+    fn placement8() -> Vec<(usize, Slot)> {
+        // Linux arrival-order: app k pairs with app k+4 on core k.
+        (0..4usize)
+            .flat_map(|k| [(k, Slot(2 * k)), (k + 4, Slot(2 * k + 1))])
+            .collect()
+    }
+
+    fn model() -> SynpaModel {
+        SynpaModel {
+            full_dispatch: CategoryCoeffs {
+                alpha: 0.0,
+                beta: 1.0,
+                gamma: 0.0,
+                rho: 0.0,
+            },
+            frontend: CategoryCoeffs {
+                alpha: 0.03,
+                beta: 1.0,
+                gamma: 0.0,
+                rho: 0.0,
+            },
+            // The interaction term rho is what makes same-type pairs
+            // superlinearly costly; with a purely linear model every perfect
+            // matching has (almost) the same total cost.
+            backend: CategoryCoeffs {
+                alpha: 0.1,
+                beta: 1.0,
+                gamma: 0.1,
+                rho: 0.8,
+            },
+        }
+    }
+
+    fn delta(fe: u64, be: u64) -> PmuDelta {
+        PmuCounters {
+            cpu_cycles: 1000,
+            inst_spec: (1000 - fe - be) * 4,
+            stall_frontend: fe,
+            stall_backend: be,
+            inst_retired: (1000 - fe - be) * 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn view_pairs_groups_by_core() {
+        let placement = placement8();
+        let view = QuantumView {
+            quantum: 0,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        assert_eq!(view.pairs(), vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
+    }
+
+    #[test]
+    fn linux_never_migrates() {
+        let placement = placement8();
+        let view = QuantumView {
+            quantum: 3,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        assert!(LinuxLike.decide(&view).is_none());
+    }
+
+    #[test]
+    fn pairs_to_slots_is_a_valid_placement() {
+        let placement = placement8();
+        let pairs = vec![(0, 1), (2, 3), (4, 5), (6, 7)];
+        let out = pairs_to_slots(&pairs, &placement, 2);
+        let mut slots: Vec<usize> = out.iter().map(|&(_, s)| s.0).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..8).collect::<Vec<_>>());
+        let mut apps: Vec<usize> = out.iter().map(|&(a, _)| a).collect();
+        apps.sort_unstable();
+        assert_eq!(apps, (0..8).collect::<Vec<_>>());
+        // Paired apps share a core.
+        for &(a, b) in &pairs {
+            let core = |x: usize| out.iter().find(|&&(ap, _)| ap == x).unwrap().1.core(2);
+            assert_eq!(core(a), core(b));
+        }
+    }
+
+    #[test]
+    fn pairs_to_slots_prefers_staying() {
+        let placement = placement8();
+        // Keep the exact same pairs: nobody should change cores.
+        let pairs = vec![(0, 4), (1, 5), (2, 6), (3, 7)];
+        let out = pairs_to_slots(&pairs, &placement, 2);
+        for &(app, slot) in &out {
+            let old = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
+            assert_eq!(slot.core(2), old.core(2), "app {app} should not move");
+        }
+    }
+
+    #[test]
+    fn random_pairing_is_reproducible_and_valid() {
+        let placement = placement8();
+        let view = QuantumView {
+            quantum: 0,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let a = RandomPairing::new(7).decide(&view).unwrap();
+        let b = RandomPairing::new(7).decide(&view).unwrap();
+        assert_eq!(a, b);
+        let mut slots: Vec<usize> = a.iter().map(|&(_, s)| s.0).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn synpa_waits_for_estimates_then_pairs_complementary() {
+        let placement = placement8();
+        // Apps 0-3 backend-ish, 4-7 frontend-ish.
+        let samples: Vec<(usize, PmuDelta)> = (0..8)
+            .map(|a| {
+                if a < 4 {
+                    (a, delta(50, 700))
+                } else {
+                    (a, delta(500, 100))
+                }
+            })
+            .collect();
+        let mut policy = Synpa::new(model());
+        // Start from a segregated placement (BE with BE, FE with FE) so the
+        // optimal pairing is materially better and hysteresis lets it pass.
+        let segregated: Vec<(usize, Slot)> = (0..8usize).map(|a| (a, Slot(a))).collect();
+        let view = QuantumView {
+            quantum: 0,
+            samples: &samples,
+            placement: &segregated,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let decision = policy.decide(&view).expect("all apps sampled");
+        let _ = &placement;
+        // With backend gamma 0.8 > 0, BE+BE pairs are costly: every core
+        // must host one backend app (0-3) and one frontend app (4-7).
+        for core in 0..4 {
+            let on_core: Vec<usize> = decision
+                .iter()
+                .filter(|&&(_, s)| s.core(2) == core)
+                .map(|&(a, _)| a)
+                .collect();
+            assert_eq!(on_core.len(), 2);
+            assert!(
+                (on_core[0] < 4) != (on_core[1] < 4),
+                "core {core} must mix groups: {on_core:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn synpa_keeps_placement_without_samples() {
+        let placement = placement8();
+        let mut policy = Synpa::new(model());
+        let view = QuantumView {
+            quantum: 0,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        assert!(policy.decide(&view).is_none());
+    }
+
+    #[test]
+    fn static_pairs_applies_once() {
+        let placement = placement8();
+        let mut policy = StaticPairs::new(vec![(0, 1), (2, 3), (4, 5), (6, 7)]);
+        let view = QuantumView {
+            quantum: 0,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let first = policy.decide(&view).expect("applies at quantum 0");
+        let core = |p: &[(usize, Slot)], x: usize| {
+            p.iter().find(|&&(a, _)| a == x).unwrap().1.core(2)
+        };
+        assert_eq!(core(&first, 0), core(&first, 1));
+        assert!(policy.decide(&view).is_none(), "never re-applies");
+    }
+
+    #[test]
+    fn greedy_synpa_produces_valid_placement() {
+        let samples: Vec<(usize, PmuDelta)> = (0..8)
+            .map(|a| {
+                if a < 4 {
+                    (a, delta(50, 700))
+                } else {
+                    (a, delta(500, 100))
+                }
+            })
+            .collect();
+        let segregated: Vec<(usize, Slot)> = (0..8usize).map(|a| (a, Slot(a))).collect();
+        let mut policy = GreedySynpa::new(model());
+        let view = QuantumView {
+            quantum: 0,
+            samples: &samples,
+            placement: &segregated,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let decision = policy.decide(&view).expect("decides");
+        let mut slots: Vec<usize> = decision.iter().map(|&(_, s)| s.0).collect();
+        slots.sort_unstable();
+        assert_eq!(slots, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oracle_pairs_from_true_categories() {
+        let placement = placement8();
+        let st: Vec<(usize, Categories)> = (0..8)
+            .map(|a| {
+                let c = if a < 4 {
+                    Categories {
+                        full_dispatch: 0.25,
+                        frontend: 0.05,
+                        backend: 2.0,
+                    }
+                } else {
+                    Categories {
+                        full_dispatch: 0.25,
+                        frontend: 0.8,
+                        backend: 0.1,
+                    }
+                };
+                (a, c)
+            })
+            .collect();
+        let mut policy = OracleSynpa::new(model(), st);
+        let view = QuantumView {
+            quantum: 0,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let decision = policy.decide(&view).unwrap();
+        for core in 0..4 {
+            let on_core: Vec<usize> = decision
+                .iter()
+                .filter(|&&(_, s)| s.core(2) == core)
+                .map(|&(a, _)| a)
+                .collect();
+            assert!((on_core[0] < 4) != (on_core[1] < 4));
+        }
+    }
+}

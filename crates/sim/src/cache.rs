@@ -1,0 +1,297 @@
+//! Set-associative cache model with true-LRU replacement.
+//!
+//! Caches are the mechanism through which co-running threads interfere in
+//! the simulator: both SMT contexts of a core insert lines into the same
+//! L1/L2 arrays, and every core inserts into the shared LLC, so capacity
+//! contention (and therefore backend-stall inflation) emerges from the
+//! replacement policy rather than from an analytic formula.
+
+use crate::config::CacheConfig;
+
+/// Result of a cache lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Line was present.
+    Hit,
+    /// Line was absent (and has now been filled).
+    Miss,
+}
+
+/// Per-requester hit/miss statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total lookups.
+    pub accesses: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio; 0 when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// One way of one set: the stored tag and its LRU age.
+#[derive(Debug, Clone, Copy)]
+struct Way {
+    tag: u64,
+    /// Monotonic last-touch stamp; smaller = older. 0 = invalid.
+    stamp: u64,
+}
+
+/// A single-level set-associative cache with true-LRU replacement.
+///
+/// Addresses are byte addresses; the cache hashes them to sets by the usual
+/// index bits above the line offset. Multiple requesters are distinguished
+/// only by their address-space tags (callers give each thread a disjoint
+/// address region), so sharing and contention need no special casing.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: u64,
+    set_shift: u32,
+    ways: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds an empty cache with the given geometry.
+    pub fn new(cfg: CacheConfig) -> Self {
+        let sets = cfg.sets();
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        assert!(cfg.line_bytes.is_power_of_two());
+        Self {
+            cfg,
+            sets,
+            set_shift: cfg.line_bytes.trailing_zeros(),
+            ways: vec![Way { tag: 0, stamp: 0 }; (sets * cfg.ways as u64) as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Access statistics since construction.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Hit latency of this level.
+    pub fn latency(&self) -> u32 {
+        self.cfg.latency
+    }
+
+    #[inline]
+    fn set_of(&self, addr: u64) -> u64 {
+        (addr >> self.set_shift) & (self.sets - 1)
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: u64) -> u64 {
+        // Keep index bits in the tag: cheap and unambiguous.
+        (addr >> self.set_shift) | 1 << 63
+    }
+
+    /// Looks up `addr`; on miss the line is filled (allocate-on-miss),
+    /// evicting the LRU way.
+    pub fn access(&mut self, addr: u64) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(addr) as usize;
+        let tag = self.tag_of(addr);
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        let slots = &mut self.ways[base..base + ways];
+
+        let mut victim = 0usize;
+        let mut victim_stamp = u64::MAX;
+        for (i, w) in slots.iter_mut().enumerate() {
+            if w.stamp != 0 && w.tag == tag {
+                w.stamp = self.clock;
+                return Access::Hit;
+            }
+            if w.stamp < victim_stamp {
+                victim_stamp = w.stamp;
+                victim = i;
+            }
+        }
+        self.stats.misses += 1;
+        slots[victim] = Way {
+            tag,
+            stamp: self.clock,
+        };
+        Access::Miss
+    }
+
+    /// Looks up `addr` without allocating on miss (hits still refresh LRU).
+    ///
+    /// Models streaming-resistant replacement (DIP/RRIP-style) for accesses
+    /// whose reuse distance dwarfs this level: the line is forwarded but not
+    /// cached, so a streaming thread cannot flush its co-runners' working
+    /// sets.
+    pub fn access_no_alloc(&mut self, addr: u64) -> Access {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let set = self.set_of(addr) as usize;
+        let tag = self.tag_of(addr);
+        let ways = self.cfg.ways as usize;
+        let base = set * ways;
+        for w in &mut self.ways[base..base + ways] {
+            if w.stamp != 0 && w.tag == tag {
+                w.stamp = self.clock;
+                return Access::Hit;
+            }
+        }
+        self.stats.misses += 1;
+        Access::Miss
+    }
+
+    /// Probe without filling or updating LRU (used by tests/diagnostics).
+    pub fn probe(&self, addr: u64) -> bool {
+        let set = self.set_of(addr) as usize;
+        let tag = self.tag_of(addr);
+        let ways = self.cfg.ways as usize;
+        self.ways[set * ways..(set + 1) * ways]
+            .iter()
+            .any(|w| w.stamp != 0 && w.tag == tag)
+    }
+
+    /// Invalidates everything (power-on state).
+    pub fn flush(&mut self) {
+        for w in &mut self.ways {
+            w.stamp = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets x 2 ways x 64B lines = 512 B.
+        Cache::new(CacheConfig {
+            size_bytes: 512,
+            ways: 2,
+            line_bytes: 64,
+            latency: 1,
+        })
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = small();
+        assert_eq!(c.access(0x1000), Access::Miss);
+        assert_eq!(c.access(0x1000), Access::Hit);
+        assert_eq!(c.access(0x1010), Access::Hit, "same line, different byte");
+    }
+
+    #[test]
+    fn distinct_lines_are_distinct() {
+        let mut c = small();
+        assert_eq!(c.access(0x0), Access::Miss);
+        assert_eq!(c.access(0x40), Access::Miss);
+        assert_eq!(c.access(0x0), Access::Hit);
+        assert_eq!(c.access(0x40), Access::Hit);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = small();
+        // Set index = bits [6..8); addresses 0x000, 0x100, 0x200 share set 0.
+        c.access(0x000);
+        c.access(0x100);
+        c.access(0x000); // refresh 0x000; 0x100 is now LRU
+        c.access(0x200); // evicts 0x100
+        assert!(c.probe(0x000));
+        assert!(!c.probe(0x100));
+        assert!(c.probe(0x200));
+    }
+
+    #[test]
+    fn capacity_contention_between_two_streams() {
+        // Two requesters with disjoint footprints that together exceed the
+        // cache cause each other's miss ratio to rise - the core mechanism
+        // behind backend-stall inflation in SMT mode.
+        let cfg = CacheConfig {
+            size_bytes: 4096,
+            ways: 4,
+            line_bytes: 64,
+            latency: 1,
+        };
+        // Solo: footprint 2 KiB fits in 4 KiB -> near-zero steady-state misses.
+        let mut solo = Cache::new(cfg);
+        let solo_stats = {
+            for round in 0..50 {
+                for line in 0..32u64 {
+                    solo.access(line * 64);
+                    let _ = round;
+                }
+            }
+            solo.stats()
+        };
+        // Shared: two interleaved 2 KiB footprints (4 KiB total) in the same
+        // 4 KiB array -> some steady-state misses remain.
+        let mut shared = Cache::new(cfg);
+        for _round in 0..50 {
+            for line in 0..32u64 {
+                shared.access(line * 64);
+                shared.access((1 << 30) + line * 64 + 32 * 64);
+            }
+        }
+        let shared_a_misses = shared.stats().misses;
+        assert!(
+            solo_stats.miss_ratio() < 0.05,
+            "solo miss ratio {}",
+            solo_stats.miss_ratio()
+        );
+        // Interleaved total footprint equals capacity; with LRU and identical
+        // sets the two streams coexist, but any skew evicts. We just require
+        // more misses than the solo cold misses.
+        assert!(shared_a_misses >= solo_stats.misses);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = small();
+        c.access(0x40);
+        assert!(c.probe(0x40));
+        c.flush();
+        assert!(!c.probe(0x40));
+        assert_eq!(c.access(0x40), Access::Miss);
+    }
+
+    #[test]
+    fn stats_count_accesses_and_misses() {
+        let mut c = small();
+        c.access(0x0);
+        c.access(0x0);
+        c.access(0x40);
+        let s = c.stats();
+        assert_eq!(s.accesses, 3);
+        assert_eq!(s.misses, 2);
+        assert!((s.miss_ratio() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = small();
+        c.access(0x000);
+        c.access(0x100);
+        // Probing 0x000 must not refresh it...
+        assert!(c.probe(0x000));
+        c.access(0x200); // ...so 0x000 (oldest) is evicted.
+        assert!(!c.probe(0x000));
+    }
+}

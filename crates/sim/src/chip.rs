@@ -1,0 +1,312 @@
+//! The full chip: cores, shared LLC, memory, and the thread-placement API
+//! that stands in for `sched_setaffinity` on the real machine.
+
+use crate::cache::Cache;
+use crate::config::ChipConfig;
+use crate::core::Core;
+use crate::mem::Memory;
+use crate::pmu::PmuCounters;
+use crate::program::ThreadProgram;
+use crate::thread::{Completion, HwThread};
+
+/// A hardware-thread slot, addressed as `core * smt_ways + ctx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Slot(pub usize);
+
+impl Slot {
+    /// Physical core index for a chip with `smt_ways` contexts per core.
+    pub fn core(&self, smt_ways: usize) -> usize {
+        self.0 / smt_ways
+    }
+
+    /// Context index within the core.
+    pub fn ctx(&self, smt_ways: usize) -> usize {
+        self.0 % smt_ways
+    }
+}
+
+/// The simulated processor.
+pub struct Chip {
+    cfg: ChipConfig,
+    cores: Vec<Core>,
+    llc: Cache,
+    mem: Memory,
+    cycle: u64,
+    events: Vec<Completion>,
+}
+
+impl Chip {
+    /// Builds a chip per `cfg` with every slot empty.
+    pub fn new(cfg: ChipConfig) -> Self {
+        let cores = (0..cfg.cores as usize).map(|i| Core::new(i, &cfg)).collect();
+        Self {
+            llc: Cache::new(cfg.llc),
+            mem: Memory::new(cfg.mem_latency, cfg.mem_queue_penalty),
+            cores,
+            cfg,
+            cycle: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// The configuration the chip was built with.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Current simulated cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    fn smt(&self) -> usize {
+        self.cfg.core.smt_ways as usize
+    }
+
+    /// Total hardware-thread slots.
+    pub fn slots(&self) -> usize {
+        self.cores.len() * self.smt()
+    }
+
+    /// Places a new application on `slot`. Panics if the slot is occupied.
+    pub fn attach(&mut self, slot: Slot, app_id: usize, program: Box<dyn ThreadProgram>) {
+        let smt = self.smt();
+        let ctx = &mut self.cores[slot.core(smt)].ctx[slot.ctx(smt)];
+        assert!(ctx.is_none(), "slot {slot:?} already occupied");
+        *ctx = Some(HwThread::new(
+            app_id,
+            program,
+            self.cfg.seed ^ (app_id as u64) << 17,
+            self.cfg.l1d.line_bytes as u64,
+        ));
+    }
+
+    /// Removes the thread on `slot`, returning it (if any).
+    pub fn detach(&mut self, slot: Slot) -> Option<HwThread> {
+        let smt = self.smt();
+        self.cores[slot.core(smt)].ctx[slot.ctx(smt)].take()
+    }
+
+    /// Slot currently hosting `app_id`, if placed.
+    pub fn slot_of(&self, app_id: usize) -> Option<Slot> {
+        let smt = self.smt();
+        for (c, core) in self.cores.iter().enumerate() {
+            for (x, t) in core.ctx.iter().enumerate() {
+                if t.as_ref().is_some_and(|t| t.app_id() == app_id) {
+                    return Some(Slot(c * smt + x));
+                }
+            }
+        }
+        None
+    }
+
+    /// Applications currently placed, as `(app_id, slot)` pairs.
+    pub fn placement(&self) -> Vec<(usize, Slot)> {
+        let smt = self.smt();
+        let mut out = Vec::new();
+        for (c, core) in self.cores.iter().enumerate() {
+            for (x, t) in core.ctx.iter().enumerate() {
+                if let Some(t) = t.as_ref() {
+                    out.push((t.app_id(), Slot(c * smt + x)));
+                }
+            }
+        }
+        out
+    }
+
+    /// Atomically re-places every listed application. Threads that change
+    /// *core* pay `migration_penalty` and lose private-cache warmth; a swap
+    /// of contexts within the same core is free. The simulator equivalent of
+    /// a batch of `sched_setaffinity` calls at a quantum boundary.
+    ///
+    /// Panics if the target placement maps two apps to one slot or names an
+    /// app that is not currently placed.
+    pub fn set_placement(&mut self, target: &[(usize, Slot)]) {
+        let smt = self.smt();
+        {
+            let mut seen = vec![false; self.slots()];
+            for &(_, s) in target {
+                assert!(!seen[s.0], "duplicate target slot {s:?}");
+                seen[s.0] = true;
+            }
+        }
+        // Lift every involved thread out, remembering its old core.
+        let mut moved: Vec<(usize, Slot, HwThread)> = Vec::with_capacity(target.len());
+        for &(app, dst) in target {
+            let src = self
+                .slot_of(app)
+                .unwrap_or_else(|| panic!("app {app} not placed"));
+            let t = self.detach(src).unwrap();
+            moved.push((src.core(smt), dst, t));
+        }
+        for (old_core, dst, mut t) in moved {
+            if dst.core(smt) != old_core {
+                t.apply_migration(self.cycle, self.cfg.migration_penalty);
+            }
+            let ctx = &mut self.cores[dst.core(smt)].ctx[dst.ctx(smt)];
+            assert!(ctx.is_none(), "target slot {dst:?} occupied by unlisted app");
+            *ctx = Some(t);
+        }
+    }
+
+    /// Runs `n` cycles; returns launch-completion events that occurred.
+    pub fn run_cycles(&mut self, n: u64) -> Vec<Completion> {
+        let end = self.cycle + n;
+        while self.cycle < end {
+            self.mem.tick(self.cycle);
+            for core in &mut self.cores {
+                core.step(self.cycle, &self.cfg, &mut self.llc, &mut self.mem, &mut self.events);
+            }
+            self.cycle += 1;
+        }
+        std::mem::take(&mut self.events)
+    }
+
+    /// PMU counters of the thread running `app_id`.
+    pub fn pmu_of(&self, app_id: usize) -> Option<&PmuCounters> {
+        let smt = self.smt();
+        let slot = self.slot_of(app_id)?;
+        self.cores[slot.core(smt)].ctx[slot.ctx(smt)]
+            .as_ref()
+            .map(|t| t.pmu())
+    }
+
+    /// Launch count of `app_id` (completed executions, paper §V-B).
+    pub fn launches_of(&self, app_id: usize) -> Option<u64> {
+        let smt = self.smt();
+        let slot = self.slot_of(app_id)?;
+        self.cores[slot.core(smt)].ctx[slot.ctx(smt)]
+            .as_ref()
+            .map(|t| t.launches())
+    }
+
+    /// Application name of `app_id`.
+    pub fn name_of(&self, app_id: usize) -> Option<&str> {
+        let smt = self.smt();
+        let slot = self.slot_of(app_id)?;
+        self.cores[slot.core(smt)].ctx[slot.ctx(smt)]
+            .as_ref()
+            .map(|t| t.name())
+    }
+}
+
+impl std::fmt::Debug for Chip {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Chip")
+            .field("cores", &self.cores.len())
+            .field("cycle", &self.cycle)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{PhaseParams, UniformProgram};
+
+    fn prog(name: &str) -> Box<dyn ThreadProgram> {
+        Box::new(UniformProgram::new(name, PhaseParams::compute(), 10_000))
+    }
+
+    #[test]
+    fn attach_detach_roundtrip() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(2));
+        chip.attach(Slot(0), 7, prog("a"));
+        assert_eq!(chip.slot_of(7), Some(Slot(0)));
+        let t = chip.detach(Slot(0)).unwrap();
+        assert_eq!(t.app_id(), 7);
+        assert_eq!(chip.slot_of(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_attach_panics() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 0, prog("a"));
+        chip.attach(Slot(0), 1, prog("b"));
+    }
+
+    #[test]
+    fn run_cycles_advances_all_threads() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(2));
+        for i in 0..4 {
+            chip.attach(Slot(i), i, prog(&format!("p{i}")));
+        }
+        // Long enough to warm the cold caches (each cold I-cache miss costs
+        // a full memory round trip).
+        chip.run_cycles(10_000);
+        for i in 0..4 {
+            let pmu = chip.pmu_of(i).unwrap();
+            assert_eq!(pmu.cpu_cycles, 10_000);
+            assert!(pmu.inst_retired > 0);
+        }
+    }
+
+    #[test]
+    fn set_placement_swaps_across_cores() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(2));
+        chip.attach(Slot(0), 0, prog("a"));
+        chip.attach(Slot(2), 1, prog("b"));
+        chip.run_cycles(10_000);
+        chip.set_placement(&[(0, Slot(2)), (1, Slot(0))]);
+        assert_eq!(chip.slot_of(0), Some(Slot(2)));
+        assert_eq!(chip.slot_of(1), Some(Slot(0)));
+        // Progress preserved across the move.
+        assert!(chip.pmu_of(0).unwrap().inst_retired > 0);
+    }
+
+    #[test]
+    fn same_core_swap_keeps_running() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 0, prog("a"));
+        chip.attach(Slot(1), 1, prog("b"));
+        chip.run_cycles(50);
+        chip.set_placement(&[(0, Slot(1)), (1, Slot(0))]);
+        let ev = chip.run_cycles(5_000);
+        // Both apps (length 10_000 compute) keep retiring and eventually
+        // complete launches.
+        assert!(chip.pmu_of(0).unwrap().inst_retired > 1_000);
+        let _ = ev;
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate target slot")]
+    fn duplicate_target_slot_panics() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 0, prog("a"));
+        chip.attach(Slot(1), 1, prog("b"));
+        chip.set_placement(&[(0, Slot(0)), (1, Slot(0))]);
+    }
+
+    #[test]
+    fn completions_carry_app_ids() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 5, prog("short"));
+        let mut seen = false;
+        for _ in 0..50 {
+            for ev in chip.run_cycles(1_000) {
+                assert_eq!(ev.app_id, 5);
+                seen = true;
+            }
+            if seen {
+                break;
+            }
+        }
+        assert!(seen, "program of length 10k should finish within 50k cycles");
+        assert!(chip.launches_of(5).unwrap() >= 1);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_counters() {
+        let run = |seed: u64| {
+            let mut chip = Chip::new(ChipConfig::thunderx2(2).with_seed(seed));
+            for i in 0..4 {
+                chip.attach(Slot(i), i, prog(&format!("p{i}")));
+            }
+            chip.run_cycles(2_000);
+            (0..4).map(|i| *chip.pmu_of(i).unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

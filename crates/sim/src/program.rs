@@ -1,0 +1,129 @@
+//! The interface between application models and the simulator.
+//!
+//! The simulator never sees application *code*; it sees a stream of
+//! microarchitectural demands, exactly as the real SYNPA manager only sees
+//! PMU events. An application is a [`ThreadProgram`] that maps its retired
+//! instruction count to the demand parameters of the current phase.
+
+/// Microarchitectural demand parameters for one execution phase.
+///
+/// These are the knobs that determine, mechanistically, how the thread's
+/// cycles split into full-dispatch / frontend-stall / backend-stall at the
+/// dispatch stage once it contends with a co-runner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseParams {
+    /// Fraction of µops that access data memory (loads + stores).
+    pub mem_ratio: f64,
+    /// Bytes of data touched by this phase (working set).
+    pub data_footprint: u64,
+    /// Probability that a data access continues a sequential run.
+    pub data_seq: f64,
+    /// Bytes of code touched (instruction working set).
+    pub code_footprint: u64,
+    /// Fraction of instruction fetches served from a small hot code region
+    /// that always fits in the L1I (loop bodies). The remaining fetches walk
+    /// the full `code_footprint` (cold paths, virtual calls), which is what
+    /// produces I-cache misses. 1.0 = perfectly cache-resident code.
+    pub code_hot: f64,
+    /// Branch mispredictions per dispatched µop (0.001 = 1 per kilo-op).
+    pub br_misp_rate: f64,
+    /// Extra execution latency per µop batch from long-latency arithmetic
+    /// (FP/SIMD) and dependence chains, in cycles. 0 = fully pipelined ILP.
+    pub exec_latency: u32,
+    /// Fraction of L1D misses that can overlap each other (memory-level
+    /// parallelism quality): 1.0 = perfectly overlapped pointer-free
+    /// streaming, 0.0 = fully serialized dependent chain.
+    pub mlp: f64,
+}
+
+impl PhaseParams {
+    /// A compute-friendly default phase: small footprints, few branches.
+    pub fn compute() -> Self {
+        Self {
+            mem_ratio: 0.15,
+            data_footprint: 2 * 1024,
+            data_seq: 0.9,
+            code_footprint: 1024,
+            code_hot: 1.0,
+            br_misp_rate: 0.0005,
+            exec_latency: 1,
+            mlp: 0.8,
+        }
+    }
+}
+
+/// An application model executable on a simulated hardware thread.
+///
+/// Implementations live in `synpa-apps`; the simulator calls
+/// [`ThreadProgram::phase_at`] every few thousand retired instructions to
+/// refresh the active demands, which is how time-varying phase behaviour
+/// (e.g. `leela_r` in Fig. 7 of the paper) reaches the pipeline model.
+pub trait ThreadProgram: Send {
+    /// Demands in effect once `retired` instructions of the current launch
+    /// have committed.
+    fn phase_at(&self, retired: u64) -> PhaseParams;
+
+    /// Instructions retired by one complete launch of the program
+    /// (the paper's "target number of instructions", §V-B).
+    fn length(&self) -> u64;
+
+    /// Stable application name (e.g. `"leela_r"`).
+    fn name(&self) -> &str;
+}
+
+/// Trivial single-phase program, used by simulator unit tests and the
+/// quickstart example.
+#[derive(Debug, Clone)]
+pub struct UniformProgram {
+    /// Application name.
+    pub name: String,
+    /// The single phase's demands.
+    pub params: PhaseParams,
+    /// Instructions per launch.
+    pub length: u64,
+}
+
+impl UniformProgram {
+    /// Builds a single-phase program.
+    pub fn new(name: impl Into<String>, params: PhaseParams, length: u64) -> Self {
+        Self {
+            name: name.into(),
+            params,
+            length,
+        }
+    }
+}
+
+impl ThreadProgram for UniformProgram {
+    fn phase_at(&self, _retired: u64) -> PhaseParams {
+        self.params
+    }
+
+    fn length(&self) -> u64 {
+        self.length
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_program_is_phase_invariant() {
+        let p = UniformProgram::new("u", PhaseParams::compute(), 1000);
+        assert_eq!(p.phase_at(0), p.phase_at(999));
+        assert_eq!(p.length(), 1000);
+        assert_eq!(p.name(), "u");
+    }
+
+    #[test]
+    fn trait_object_is_usable() {
+        let p: Box<dyn ThreadProgram> =
+            Box::new(UniformProgram::new("x", PhaseParams::compute(), 5));
+        assert_eq!(p.length(), 5);
+    }
+}

@@ -1,0 +1,456 @@
+//! Per-hardware-thread pipeline state.
+//!
+//! Each [`HwThread`] models the dispatch-stage view of one running
+//! application: a fetch/dispatch queue fed by the (shared) frontend, an
+//! in-order window of µop batches standing in for the ROB, and the PMU
+//! counters the SYNPA manager will read. The cross-thread resources (dispatch
+//! width, ROB/LSQ capacity, cache arrays, the I-cache port) live in
+//! [`crate::core::Core`]; this module holds everything thread-private.
+
+use std::collections::VecDeque;
+
+use crate::pmu::PmuCounters;
+use crate::program::{PhaseParams, ThreadProgram};
+use crate::rng::{Dither, SplitMix64};
+use crate::stream::AddrStream;
+
+/// How often (retired instructions) the active phase parameters are
+/// refreshed from the program model.
+const PHASE_REFRESH: u64 = 2048;
+
+/// MSHR fill-wheel capacity; must exceed the longest possible miss latency.
+const MSHR_WHEEL: usize = 4096;
+
+/// One in-order batch of dispatched µops awaiting retirement.
+///
+/// Batches are pushed in dispatch (program) order and retired strictly from
+/// the head, so a long-latency head batch blocks retirement exactly like a
+/// load miss at the ROB head does on real hardware.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RobBatch {
+    /// Cycle at which the batch's results are complete.
+    pub ready: u64,
+    /// µops remaining in the batch.
+    pub n: u16,
+    /// Loads and stores carried (for LSQ accounting on drain).
+    pub loads: u16,
+    pub stores: u16,
+    /// L1D misses carried (for MSHR accounting on drain).
+    pub misses: u16,
+}
+
+/// Why a fetch is currently not producing µops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum FetchBlock {
+    None,
+    /// I-cache miss outstanding until the stored cycle.
+    ICacheMiss,
+    /// Branch-mispredict redirect until the stored cycle.
+    Redirect,
+}
+
+/// Events a thread can report to the outside world.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// Application identity (stable across migrations and relaunches).
+    pub app_id: usize,
+    /// Cycle at which the launch completed.
+    pub cycle: u64,
+    /// Launch ordinal that just finished (0 = first).
+    pub launch: u64,
+}
+
+/// A hardware thread executing one application model.
+pub struct HwThread {
+    pub(crate) app_id: usize,
+    pub(crate) program: Box<dyn ThreadProgram>,
+    pub(crate) phase: PhaseParams,
+    next_phase_refresh: u64,
+
+    /// Retired instructions within the current launch.
+    pub(crate) retired_in_launch: u64,
+    pub(crate) launches: u64,
+
+    // --- frontend ---
+    pub(crate) fetch_q: u32,
+    pub(crate) fetch_block: FetchBlock,
+    pub(crate) fetch_block_until: u64,
+
+    // --- backend window ---
+    pub(crate) rob: VecDeque<RobBatch>,
+    pub(crate) rob_occ: u32,
+    pub(crate) lq_occ: u32,
+    pub(crate) sq_occ: u32,
+    /// L1D misses whose fills are still in flight (MSHR occupancy).
+    pub(crate) outstanding_misses: u32,
+    /// Exponentially averaged DRAM fills issued per cycle (bandwidth
+    /// demand; drives the shared miss-path saturation model).
+    pub(crate) dram_rate: f64,
+    /// Timing wheel of miss-fill completions, indexed by `cycle & (len-1)`.
+    mshr_wheel: Vec<u16>,
+    mshr_tick: u64,
+
+    // --- streams & stochastics ---
+    pub(crate) code_stream: AddrStream,
+    pub(crate) data_stream: AddrStream,
+    /// Round-robin cursor over the thread's hot code lines.
+    pub(crate) hot_code_cursor: u64,
+    pub(crate) mem_dither: Dither,
+    pub(crate) br_dither: Dither,
+    pub(crate) rng: SplitMix64,
+
+    // --- accounting ---
+    pub(crate) pmu: PmuCounters,
+    /// Cycle until which the thread pays a migration penalty.
+    pub(crate) migrate_stall_until: u64,
+    /// Latency-class cache for sampled data accesses.
+    pub(crate) last_data_latency: u32,
+    pub(crate) last_data_missed: bool,
+    pub(crate) sample_tick: u32,
+}
+
+impl HwThread {
+    /// Creates a thread for `program`. `app_id` must be unique per
+    /// application instance in the workload; it also seeds this thread's
+    /// private address region and RNG stream.
+    pub fn new(app_id: usize, program: Box<dyn ThreadProgram>, seed: u64, line: u64) -> Self {
+        let phase = program.phase_at(0);
+        let base = (app_id as u64 + 1) << 44;
+        Self {
+            app_id,
+            // Cold code walks whole lines; data strides sub-line (8 B) so
+            // sequential phases enjoy spatial locality within a line.
+            code_stream: AddrStream::new(base, phase.code_footprint, 0.7, line, line),
+            data_stream: AddrStream::new(
+                base | 1 << 43,
+                phase.data_footprint,
+                phase.data_seq,
+                line,
+                8,
+            ),
+            hot_code_cursor: 0,
+            program,
+            phase,
+            next_phase_refresh: PHASE_REFRESH,
+            retired_in_launch: 0,
+            launches: 0,
+            fetch_q: 0,
+            fetch_block: FetchBlock::None,
+            fetch_block_until: 0,
+            rob: VecDeque::with_capacity(64),
+            rob_occ: 0,
+            lq_occ: 0,
+            sq_occ: 0,
+            outstanding_misses: 0,
+            dram_rate: 0.0,
+            mshr_wheel: vec![0; MSHR_WHEEL],
+            mshr_tick: 0,
+            mem_dither: Dither::default(),
+            br_dither: Dither::default(),
+            rng: SplitMix64::new(seed ^ (app_id as u64).wrapping_mul(0x9E37_79B9)),
+            pmu: PmuCounters::default(),
+            migrate_stall_until: 0,
+            last_data_latency: 4,
+            last_data_missed: false,
+            sample_tick: 0,
+        }
+    }
+
+    /// Application identity (stable across migrations and relaunches).
+    pub fn app_id(&self) -> usize {
+        self.app_id
+    }
+
+    /// Application name.
+    pub fn name(&self) -> &str {
+        self.program.name()
+    }
+
+    /// This thread's PMU counters.
+    pub fn pmu(&self) -> &PmuCounters {
+        &self.pmu
+    }
+
+    /// Completed launches of the program (paper §V-B relaunch count).
+    pub fn launches(&self) -> u64 {
+        self.launches
+    }
+
+    /// Instructions retired within the current launch.
+    pub fn retired_in_launch(&self) -> u64 {
+        self.retired_in_launch
+    }
+
+    /// Refreshes phase parameters if the program crossed a refresh boundary.
+    pub(crate) fn maybe_refresh_phase(&mut self) {
+        if self.retired_in_launch >= self.next_phase_refresh {
+            self.phase = self.program.phase_at(self.retired_in_launch);
+            self.code_stream.retune(self.phase.code_footprint, 0.7);
+            self.data_stream
+                .retune(self.phase.data_footprint, self.phase.data_seq);
+            self.next_phase_refresh = self.retired_in_launch + PHASE_REFRESH;
+        }
+    }
+
+    /// Advances the MSHR fill wheel to `now`, releasing completed fills.
+    pub(crate) fn tick_mshr(&mut self, now: u64) {
+        while self.mshr_tick < now {
+            self.mshr_tick += 1;
+            let slot = (self.mshr_tick as usize) & (MSHR_WHEEL - 1);
+            self.outstanding_misses = self.outstanding_misses.saturating_sub(
+                u32::from(self.mshr_wheel[slot]),
+            );
+            self.mshr_wheel[slot] = 0;
+        }
+    }
+
+    /// Updates the DRAM-demand EWMA with this cycle's DRAM fills.
+    #[inline]
+    pub(crate) fn update_dram_rate(&mut self, fills: u32) {
+        const ALPHA: f64 = 1.0 / 128.0;
+        self.dram_rate += (fills as f64 - self.dram_rate) * ALPHA;
+    }
+
+    /// Registers `misses` in-flight fills completing at `fill_time`.
+    pub(crate) fn issue_misses(&mut self, misses: u32, fill_time: u64) {
+        self.outstanding_misses += misses;
+        let fill_time = fill_time.min(self.mshr_tick + (MSHR_WHEEL - 2) as u64);
+        let slot = (fill_time as usize) & (MSHR_WHEEL - 1);
+        self.mshr_wheel[slot] = self.mshr_wheel[slot].saturating_add(misses as u16);
+    }
+
+    /// Next instruction-fetch address: hot loop body with probability
+    /// `code_hot` (8 resident lines, cycled), otherwise a cold-code access.
+    pub(crate) fn next_fetch_addr(&mut self, line: u64) -> u64 {
+        if self.rng.chance(self.phase.code_hot) {
+            self.hot_code_cursor = (self.hot_code_cursor + 1) % 8;
+            ((self.app_id as u64 + 1) << 44) + self.hot_code_cursor * line
+        } else {
+            self.code_stream.next(&mut self.rng)
+        }
+    }
+
+    /// Retires up to `width` µops in order. Returns retired count.
+    pub(crate) fn retire(&mut self, now: u64, width: u32) -> u32 {
+        let mut budget = width;
+        while budget > 0 {
+            let Some(head) = self.rob.front_mut() else {
+                break;
+            };
+            if head.ready > now {
+                break;
+            }
+            let take = (head.n as u32).min(budget);
+            head.n -= take as u16;
+            self.rob_occ -= take;
+            self.retired_in_launch += take as u64;
+            self.pmu.inst_retired += take as u64;
+            budget -= take;
+            if head.n == 0 {
+                self.lq_occ = self.lq_occ.saturating_sub(head.loads as u32);
+                self.sq_occ = self.sq_occ.saturating_sub(head.stores as u32);
+                self.rob.pop_front();
+            }
+        }
+        width - budget
+    }
+
+    /// Handles end-of-launch: if the launch target was reached, resets
+    /// progress and reports a [`Completion`]. The thread keeps running
+    /// (relaunch methodology, paper §V-B).
+    pub(crate) fn check_completion(&mut self, now: u64) -> Option<Completion> {
+        let len = self.program.length();
+        if self.retired_in_launch >= len {
+            let launch = self.launches;
+            self.launches += 1;
+            self.retired_in_launch -= len;
+            self.next_phase_refresh = PHASE_REFRESH.min(len);
+            self.phase = self.program.phase_at(self.retired_in_launch);
+            Some(Completion {
+                app_id: self.app_id,
+                cycle: now,
+                launch,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// True when the thread wants the I-cache port this cycle.
+    pub(crate) fn wants_fetch(&self, now: u64, fetch_width: u32, queue_cap: u32) -> bool {
+        if now < self.migrate_stall_until {
+            return false;
+        }
+        match self.fetch_block {
+            FetchBlock::None => self.fetch_q + fetch_width <= queue_cap,
+            _ => now >= self.fetch_block_until && self.fetch_q + fetch_width <= queue_cap,
+        }
+    }
+
+    /// Applies the cost of a migration to a different core: the dispatch
+    /// queue and in-flight window drain, private-cache warmth is lost
+    /// implicitly (the new core's caches don't hold this thread's lines).
+    pub(crate) fn apply_migration(&mut self, now: u64, penalty: u32) {
+        self.fetch_q = 0;
+        self.fetch_block = FetchBlock::None;
+        // In-flight work completes before the move (we model the drain as a
+        // stall rather than discarding retired-instruction credit).
+        for b in &mut self.rob {
+            b.ready = b.ready.min(now);
+        }
+        self.migrate_stall_until = now + penalty as u64;
+        self.mem_dither.reset();
+        self.br_dither.reset();
+    }
+}
+
+impl std::fmt::Debug for HwThread {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HwThread")
+            .field("app_id", &self.app_id)
+            .field("name", &self.program.name())
+            .field("retired_in_launch", &self.retired_in_launch)
+            .field("launches", &self.launches)
+            .field("rob_occ", &self.rob_occ)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::UniformProgram;
+
+    fn thread(len: u64) -> HwThread {
+        HwThread::new(
+            0,
+            Box::new(UniformProgram::new("t", PhaseParams::compute(), len)),
+            1,
+            64,
+        )
+    }
+
+    #[test]
+    fn retire_is_in_order_and_blocking() {
+        let mut t = thread(1000);
+        t.rob.push_back(RobBatch {
+            ready: 10,
+            n: 4,
+            loads: 0,
+            stores: 0,
+            misses: 0,
+        });
+        t.rob.push_back(RobBatch {
+            ready: 0,
+            n: 4,
+            loads: 0,
+            stores: 0,
+            misses: 0,
+        });
+        t.rob_occ = 8;
+        // Head not ready at cycle 5: nothing retires even though the second
+        // batch is ready.
+        assert_eq!(t.retire(5, 4), 0);
+        // At cycle 10 the head retires, then the width limit stops us.
+        assert_eq!(t.retire(10, 4), 4);
+        assert_eq!(t.retire(10, 4), 4);
+        assert_eq!(t.rob_occ, 0);
+        assert_eq!(t.retired_in_launch, 8);
+    }
+
+    #[test]
+    fn retire_partial_batch() {
+        let mut t = thread(1000);
+        t.rob.push_back(RobBatch {
+            ready: 0,
+            n: 10,
+            loads: 2,
+            stores: 1,
+            misses: 1,
+        });
+        t.rob_occ = 10;
+        t.lq_occ = 2;
+        t.sq_occ = 1;
+        assert_eq!(t.retire(0, 4), 4);
+        // Batch not fully drained: LSQ still held.
+        assert_eq!(t.lq_occ, 2);
+        assert_eq!(t.retire(0, 6), 6);
+        assert_eq!(t.lq_occ, 0);
+        assert_eq!(t.sq_occ, 0);
+    }
+
+    #[test]
+    fn mshr_wheel_releases_fills_on_time() {
+        let mut t = thread(1000);
+        t.tick_mshr(100);
+        t.issue_misses(3, 150);
+        assert_eq!(t.outstanding_misses, 3);
+        t.tick_mshr(149);
+        assert_eq!(t.outstanding_misses, 3);
+        t.tick_mshr(150);
+        assert_eq!(t.outstanding_misses, 0);
+    }
+
+    #[test]
+    fn mshr_far_future_fill_is_clamped_not_lost() {
+        let mut t = thread(1000);
+        t.tick_mshr(10);
+        t.issue_misses(2, 10 + 100_000);
+        assert_eq!(t.outstanding_misses, 2);
+        t.tick_mshr(10 + 5000);
+        assert_eq!(t.outstanding_misses, 0, "clamped fill eventually releases");
+    }
+
+    #[test]
+    fn completion_resets_progress_and_counts_launches() {
+        let mut t = thread(100);
+        t.retired_in_launch = 105;
+        let c = t.check_completion(50).expect("completed");
+        assert_eq!(c.launch, 0);
+        assert_eq!(c.cycle, 50);
+        assert_eq!(t.retired_in_launch, 5, "overshoot carries over");
+        assert_eq!(t.launches, 1);
+        assert!(t.check_completion(51).is_none());
+    }
+
+    #[test]
+    fn wants_fetch_respects_queue_capacity() {
+        let mut t = thread(100);
+        t.fetch_q = 30;
+        assert!(!t.wants_fetch(0, 8, 32));
+        t.fetch_q = 24;
+        assert!(t.wants_fetch(0, 8, 32));
+    }
+
+    #[test]
+    fn wants_fetch_respects_block_and_migration() {
+        let mut t = thread(100);
+        t.fetch_block = FetchBlock::ICacheMiss;
+        t.fetch_block_until = 20;
+        assert!(!t.wants_fetch(10, 8, 32));
+        assert!(t.wants_fetch(20, 8, 32));
+        t.apply_migration(30, 100);
+        assert!(!t.wants_fetch(50, 8, 32));
+        assert!(t.wants_fetch(130, 8, 32));
+    }
+
+    #[test]
+    fn migration_flushes_frontend_not_progress() {
+        let mut t = thread(100);
+        t.fetch_q = 16;
+        t.retired_in_launch = 42;
+        t.apply_migration(0, 10);
+        assert_eq!(t.fetch_q, 0);
+        assert_eq!(t.retired_in_launch, 42);
+    }
+
+    #[test]
+    fn phase_refresh_pulls_from_program() {
+        let mut t = thread(1_000_000);
+        let before = t.phase;
+        t.retired_in_launch = PHASE_REFRESH + 1;
+        t.maybe_refresh_phase();
+        // UniformProgram: same params, but refresh must not corrupt state.
+        assert_eq!(t.phase, before);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests over the simulator: for arbitrary application
+//! demand parameters, the PMU accounting identities and determinism
+//! guarantees must hold.
+
+use proptest::prelude::*;
+use synpa::sim::{Chip, ChipConfig, PhaseParams, Slot, ThreadProgram, UniformProgram};
+
+fn arb_phase() -> impl Strategy<Value = PhaseParams> {
+    (
+        0.0f64..0.5,          // mem_ratio
+        1u64..8192,           // data footprint (KiB)
+        0.0f64..1.0,          // data_seq
+        1u64..256,            // code footprint (KiB)
+        0.5f64..1.0,          // code_hot
+        0.0f64..0.02,         // br_misp_rate
+        1u32..6,              // exec_latency
+        0.0f64..1.0,          // mlp
+    )
+        .prop_map(
+            |(mem_ratio, data_kb, data_seq, code_kb, code_hot, br, exec_latency, mlp)| {
+                PhaseParams {
+                    mem_ratio,
+                    data_footprint: data_kb * 1024,
+                    data_seq,
+                    code_footprint: code_kb * 1024,
+                    code_hot,
+                    br_misp_rate: br,
+                    exec_latency,
+                    mlp,
+                }
+            },
+        )
+}
+
+fn run_pair(a: PhaseParams, b: PhaseParams, cycles: u64, seed: u64) -> Chip {
+    let mut chip = Chip::new(ChipConfig::thunderx2(1).with_seed(seed));
+    chip.attach(Slot(0), 0, Box::new(UniformProgram::new("a", a, u64::MAX)));
+    chip.attach(Slot(1), 1, Box::new(UniformProgram::new("b", b, u64::MAX)));
+    chip.run_cycles(cycles);
+    chip
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pmu_accounting_identities_hold(a in arb_phase(), b in arb_phase()) {
+        let chip = run_pair(a, b, 20_000, 7);
+        for id in 0..2 {
+            let p = chip.pmu_of(id).unwrap();
+            prop_assert_eq!(p.cpu_cycles, 20_000);
+            // Stalls and dispatch cycles partition the interval.
+            prop_assert!(p.stall_frontend + p.stall_backend <= p.cpu_cycles);
+            // Width bound on speculative dispatch.
+            prop_assert!(p.inst_spec <= p.cpu_cycles * 4);
+            // Retired work never exceeds dispatched work.
+            prop_assert!(p.inst_retired <= p.inst_spec);
+            // Extended stall attribution partitions the architectural counts.
+            let fe_attr = p.ext.stall_branch + p.ext.stall_icache;
+            prop_assert_eq!(fe_attr, p.stall_frontend);
+            let be_attr = p.ext.stall_dcache
+                + p.ext.stall_rob_full
+                + p.ext.stall_iq_full
+                + p.ext.stall_lsq_full
+                + p.ext.stall_width;
+            prop_assert_eq!(be_attr, p.stall_backend);
+        }
+    }
+
+    #[test]
+    fn simulation_is_deterministic(a in arb_phase(), b in arb_phase()) {
+        let x = run_pair(a, b, 10_000, 42);
+        let y = run_pair(a, b, 10_000, 42);
+        for id in 0..2 {
+            prop_assert_eq!(x.pmu_of(id).unwrap(), y.pmu_of(id).unwrap());
+        }
+    }
+
+    #[test]
+    fn categories_partition_the_quantum(a in arb_phase(), b in arb_phase()) {
+        use synpa::model::Categories;
+        let chip = run_pair(a, b, 30_000, 3);
+        for id in 0..2 {
+            let d = chip.pmu_of(id).unwrap();
+            if d.inst_retired == 0 {
+                continue;
+            }
+            let c = Categories::from_delta(d, 4);
+            // CPI components are non-negative and sum to cycles/instruction.
+            prop_assert!(c.full_dispatch >= 0.0 && c.frontend >= 0.0 && c.backend >= 0.0);
+            let cpi = d.cpu_cycles as f64 / d.inst_retired as f64;
+            prop_assert!((c.cpi() - cpi).abs() / cpi < 1e-6,
+                "components {} vs cpi {}", c.cpi(), cpi);
+            let f = c.fractions();
+            prop_assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn co_running_never_speeds_both_up(a in arb_phase(), b in arb_phase()) {
+        // Interference can redistribute but not create throughput: the pair's
+        // combined IPC never exceeds the sum of solo IPCs (plus tolerance for
+        // cache-warmup noise).
+        let solo = |p: PhaseParams| {
+            let mut chip = Chip::new(ChipConfig::thunderx2(1).with_seed(11));
+            chip.attach(Slot(0), 0, Box::new(UniformProgram::new("s", p, u64::MAX)));
+            chip.run_cycles(30_000);
+            chip.pmu_of(0).unwrap().inst_retired
+        };
+        let (sa, sb) = (solo(a), solo(b));
+        let chip = run_pair(a, b, 30_000, 11);
+        let pa = chip.pmu_of(0).unwrap().inst_retired;
+        let pb = chip.pmu_of(1).unwrap().inst_retired;
+        prop_assert!(
+            (pa + pb) as f64 <= (sa + sb) as f64 * 1.05,
+            "pair {} vs solo sum {}", pa + pb, sa + sb
+        );
+    }
+}
+
+#[test]
+fn completion_accounting_matches_targets() {
+    // A short program must complete exactly when its retired count crosses
+    // the launch length, repeatedly.
+    let p = PhaseParams::compute();
+    let mut chip = Chip::new(ChipConfig::thunderx2(1));
+    chip.attach(
+        Slot(0),
+        0,
+        Box::new(UniformProgram::new("short", p, 5_000)),
+    );
+    let mut completions = 0u64;
+    for _ in 0..40 {
+        completions += chip.run_cycles(1_000).len() as u64;
+    }
+    assert_eq!(chip.launches_of(0).unwrap(), completions);
+    assert!(completions >= 2, "program should have relaunched");
+    // Total retired ≈ launches * length + current progress.
+    let retired = chip.pmu_of(0).unwrap().inst_retired;
+    assert!(retired >= completions * 5_000);
+}
