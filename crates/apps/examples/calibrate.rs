@@ -7,8 +7,21 @@ use synpa_apps::{characterize_isolated, spec};
 use synpa_sim::{Chip, ChipConfig, Slot, ThreadProgram};
 
 fn main() {
-    println!("{:<14} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6}",
-        "app", "FD%", "FE%", "BE%", "IPC", "dcach", "robfl", "iqful", "lsq", "width", "l1dMR", "l1iMR");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6} {:>6} {:>6} {:>6} | {:>6} {:>6}",
+        "app",
+        "FD%",
+        "FE%",
+        "BE%",
+        "IPC",
+        "dcach",
+        "robfl",
+        "iqful",
+        "lsq",
+        "width",
+        "l1dMR",
+        "l1iMR"
+    );
     let mut bad = 0;
     for app in spec::catalog() {
         let r = characterize_isolated(&app, 80_000, 120_000);
@@ -33,7 +46,9 @@ fn main() {
             d.ext.l1d_miss as f64 / d.ext.l1d_access.max(1) as f64 * 100.0,
             d.ext.l1i_miss as f64 / d.ext.l1i_access.max(1) as f64 * 100.0,
             if got==want {""} else {"<-- MISMATCH"});
-        if got != want { bad += 1; }
+        if got != want {
+            bad += 1;
+        }
     }
     println!("\nmismatches: {bad}/28");
 }

@@ -22,13 +22,7 @@ const KB: u64 = 1024;
 const MB: u64 = 1024 * 1024;
 
 /// A memory-dominated phase: footprint beyond the LLC, cache-resident code.
-fn mem_phase(
-    mem_ratio: f64,
-    footprint: u64,
-    seq: f64,
-    mlp: f64,
-    exec_latency: u32,
-) -> PhaseParams {
+fn mem_phase(mem_ratio: f64, footprint: u64, seq: f64, mlp: f64, exec_latency: u32) -> PhaseParams {
     PhaseParams {
         mem_ratio,
         data_footprint: footprint,
@@ -89,7 +83,7 @@ fn uniform(name: &str, p: PhaseParams) -> AppProfile {
 pub fn catalog() -> Vec<AppProfile> {
     vec![
         // ---- backend bound (Table III: backend stalls > 65 %) ----
-        uniform("cactuBSSN_r", mem_phase(0.33, 1 * MB, 0.60, 0.60, 2)),
+        uniform("cactuBSSN_r", mem_phase(0.33, MB, 0.60, 0.60, 2)),
         uniform("lbm_r", mem_phase(0.45, 4 * MB, 0.90, 0.80, 1)),
         uniform("mcf", mem_phase(0.34, 2 * MB, 0.10, 0.15, 1)),
         uniform("milc", mem_phase(0.36, 768 * KB, 0.45, 0.50, 2)),

@@ -23,7 +23,11 @@ fn all_28_apps_land_in_their_table3_groups() {
             ));
         }
     }
-    assert!(failures.is_empty(), "misclassified apps:\n{}", failures.join("\n"));
+    assert!(
+        failures.is_empty(),
+        "misclassified apps:\n{}",
+        failures.join("\n")
+    );
 }
 
 #[test]

@@ -15,7 +15,11 @@ fn chip_with(n_apps: usize, cores: u32) -> Chip {
             data_seq: 0.4,
             ..PhaseParams::compute()
         };
-        chip.attach(Slot(i), i, Box::new(UniformProgram::new(format!("p{i}"), params, u64::MAX)));
+        chip.attach(
+            Slot(i),
+            i,
+            Box::new(UniformProgram::new(format!("p{i}"), params, u64::MAX)),
+        );
     }
     chip.run_cycles(20_000); // warm
     chip
@@ -25,7 +29,11 @@ fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     const CYCLES: u64 = 10_000;
     group.throughput(Throughput::Elements(CYCLES));
-    for (label, apps, cores) in [("1thread", 1usize, 1u32), ("smt_pair", 2, 1), ("chip_8apps", 8, 4)] {
+    for (label, apps, cores) in [
+        ("1thread", 1usize, 1u32),
+        ("smt_pair", 2, 1),
+        ("chip_8apps", 8, 4),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
             let mut chip = chip_with(apps, cores);
             b.iter(|| black_box(chip.run_cycles(CYCLES).len()))

@@ -103,8 +103,10 @@ pub fn read_trace<R: BufRead>(input: R) -> Result<Vec<QuantumRecord>, TraceError
         if line.trim().is_empty() {
             continue;
         }
-        let rec: QuantumRecord =
-            serde_json::from_str(&line).map_err(|e| TraceError::Parse { line: i + 1, source: e })?;
+        let rec: QuantumRecord = serde_json::from_str(&line).map_err(|e| TraceError::Parse {
+            line: i + 1,
+            source: e,
+        })?;
         out.push(rec);
     }
     Ok(out)

@@ -9,9 +9,15 @@ use synpa_experiments::{eval_config, trained_model};
 
 fn main() {
     let (model, _) = trained_model();
-    let cfg = ExperimentConfig { reps: 5, ..eval_config() };
+    let cfg = ExperimentConfig {
+        reps: 5,
+        ..eval_config()
+    };
     let tcfg = TrainingConfig::default();
-    println!("policy ablation — TT speedup over Linux (reps = {})", cfg.reps);
+    println!(
+        "policy ablation — TT speedup over Linux (reps = {})",
+        cfg.reps
+    );
     println!("{:<6} {:>8} {:>8} {:>8}", "wl", "synpa", "oracle", "random");
     for name in ["be2", "fe3", "fb5", "fb8"] {
         let w = workload::by_name(name).unwrap();
@@ -24,10 +30,14 @@ fn main() {
             .collect();
         let linux = run_cell(&prepared, |_| Box::new(LinuxLike), &cfg);
         let synpa = run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg);
-        let oracle = run_cell(&prepared, {
-            let st = st.clone();
-            move |_| Box::new(OracleSynpa::new(model, st.clone()))
-        }, &cfg);
+        let oracle = run_cell(
+            &prepared,
+            {
+                let st = st.clone();
+                move |_| Box::new(OracleSynpa::new(model, st.clone()))
+            },
+            &cfg,
+        );
         let random = run_cell(&prepared, |s| Box::new(RandomPairing::new(s)), &cfg);
         println!(
             "{name:<6} {:>8.3} {:>8.3} {:>8.3}",
@@ -36,5 +46,7 @@ fn main() {
             tt_speedup(linux.tt_mean, random.tt_mean),
         );
     }
-    println!("\nexpected: oracle >= synpa (no inversion error), random pays migrations for nothing");
+    println!(
+        "\nexpected: oracle >= synpa (no inversion error), random pays migrations for nothing"
+    );
 }

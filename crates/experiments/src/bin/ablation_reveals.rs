@@ -9,7 +9,10 @@ use synpa_experiments::{threads, training_split};
 fn main() {
     let (train_apps, _) = training_split();
     println!("§III-B — where should the revealed stalls go?");
-    println!("{:<16} {:>12} {:>12} {:>12} {:>14}", "split", "MSE(FD)", "MSE(FE)", "MSE(BE)", "slowdown MSE");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12} {:>14}",
+        "split", "MSE(FD)", "MSE(FE)", "MSE(BE)", "slowdown MSE"
+    );
     for (name, split) in [
         ("all-to-backend", RevealsSplit::AllToBackend),
         ("equal", RevealsSplit::Equal),

@@ -29,13 +29,22 @@ fn main() {
     println!("\nStep 2: equivalent full-dispatch cycles (E)");
     let fdc = d.inst_spec as f64 / 4.0 / cycles;
     println!("  F-Dc = INST_SPEC/width  {:6.1}%", fdc * 100.0);
-    println!("  revealed waste          {:6.1}%  (Dc - F-Dc, hidden horizontal waste)", (dc - fdc) * 100.0);
+    println!(
+        "  revealed waste          {:6.1}%  (Dc - F-Dc, hidden horizontal waste)",
+        (dc - fdc) * 100.0
+    );
 
     println!("\nStep 3: revealed waste assigned to the backend");
     let c = Categories::from_delta_with(&d, 4, RevealsSplit::AllToBackend);
     let f = c.fractions();
     println!("  full-dispatch           {:6.1}%", f[0] * 100.0);
     println!("  frontend stalls         {:6.1}%", f[1] * 100.0);
-    println!("  backend stalls          {:6.1}%  (measured + revealed)", f[2] * 100.0);
-    println!("  total                   {:6.1}%", f.iter().sum::<f64>() * 100.0);
+    println!(
+        "  backend stalls          {:6.1}%  (measured + revealed)",
+        f[2] * 100.0
+    );
+    println!(
+        "  total                   {:6.1}%",
+        f.iter().sum::<f64>() * 100.0
+    );
 }

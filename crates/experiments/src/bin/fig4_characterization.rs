@@ -7,7 +7,10 @@ use synpa_experiments::{bar, results_dir};
 
 fn main() {
     println!("Fig. 4 — characterization of the applications in isolated execution");
-    println!("{:<14} {:>6} {:>6} {:>6}  (bar = backend-stall share)", "app", "FD%", "FE%", "BE%");
+    println!(
+        "{:<14} {:>6} {:>6} {:>6}  (bar = backend-stall share)",
+        "app", "FD%", "FE%", "BE%"
+    );
     let mut json = Vec::new();
     for app in spec::catalog() {
         let run = synpa::apps::characterize_isolated(&app, 80_000, 120_000);

@@ -13,10 +13,20 @@ fn main() {
         let (linux, synpa) = cells_of(&cells, &w.name);
         let sp = tt_speedup(linux.tt_mean, synpa.tt_mean);
         by_kind.entry(linux.kind.clone()).or_default().push(sp);
-        println!("{:<6} {:<9} {:>8.3}  {}", w.name, linux.kind, sp, bar(sp - 0.9, 80.0));
+        println!(
+            "{:<6} {:<9} {:>8.3}  {}",
+            w.name,
+            linux.kind,
+            sp,
+            bar(sp - 0.9, 80.0)
+        );
     }
     println!("\naverages (paper: backend ~1.18, frontend ~1.08, mixed ~1.36):");
     for (kind, sps) in &by_kind {
-        println!("  {kind:<9} {:>6.3}  (max {:.3})", mean(sps), sps.iter().cloned().fold(f64::MIN, f64::max));
+        println!(
+            "  {kind:<9} {:>6.3}  (max {:.3})",
+            mean(sps),
+            sps.iter().cloned().fold(f64::MIN, f64::max)
+        );
     }
 }

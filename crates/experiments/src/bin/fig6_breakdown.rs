@@ -40,7 +40,12 @@ fn main() {
                     tt_frac
                 )
             };
-            println!("{:<14} {:>22} | {:>22}", w.apps[k], fmt(&linux), fmt(&synpa));
+            println!(
+                "{:<14} {:>22} | {:>22}",
+                w.apps[k],
+                fmt(&linux),
+                fmt(&synpa)
+            );
         }
     }
     println!("\n('time' = the app's TT normalized to the slowest app of the workload)");

@@ -14,7 +14,10 @@ fn main() {
 
     for (policy_name, cell) in [
         ("linux", run_cell(&prepared, |_| Box::new(LinuxLike), &cfg)),
-        ("synpa", run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg)),
+        (
+            "synpa",
+            run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg),
+        ),
     ] {
         for &app in &leelas {
             let r = &cell.exemplar;
@@ -33,7 +36,11 @@ fn main() {
                     .find(|p| p.quantum == row.quantum && p.app == row.co_runner)
                     .unwrap();
                 let pf = partner.categories.fractions();
-                let (dom, val) = if pf[1] > pf[2] { ("frontend", pf[1]) } else { ("backend", pf[2]) };
+                let (dom, val) = if pf[1] > pf[2] {
+                    ("frontend", pf[1])
+                } else {
+                    ("backend", pf[2])
+                };
                 csv.push_str(&format!(
                     "{},{:.4},{:.4},{:.4},{},{},{:.4}\n",
                     row.quantum, f[0], f[1], f[2], row.co_runner, dom, val

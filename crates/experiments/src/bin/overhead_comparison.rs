@@ -25,8 +25,13 @@ fn main() {
     let (model, _) = trained_model();
     let synpa_coeffs = model.coeffs().to_vec();
     let ibm_coeffs = IbmStyleModel::default().coeffs.to_vec();
-    println!("§II — pair-estimation overhead: SYNPA (3 eq/4 counters) vs IBM-style (5 eq/6 counters)");
-    println!("{:>6} {:>14} {:>14} {:>9}", "apps", "synpa (ns)", "ibm (ns)", "ratio");
+    println!(
+        "§II — pair-estimation overhead: SYNPA (3 eq/4 counters) vs IBM-style (5 eq/6 counters)"
+    );
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "apps", "synpa (ns)", "ibm (ns)", "ratio"
+    );
     for n in [8usize, 16, 32, 56, 112] {
         let st3: Vec<[f64; 3]> = (0..n)
             .map(|i| [0.25, 0.1 + i as f64 * 0.01, 0.3 + (i % 7) as f64 * 0.3])
@@ -38,12 +43,7 @@ fn main() {
             })
             .collect();
         let iters = 2_000;
-        fn run(
-            iters: u32,
-            n: usize,
-            coeffs: &[CategoryCoeffs],
-            st: &[Vec<f64>],
-        ) -> f64 {
+        fn run(iters: u32, n: usize, coeffs: &[CategoryCoeffs], st: &[Vec<f64>]) -> f64 {
             let t0 = Instant::now();
             let mut acc = 0.0;
             for _ in 0..iters {
@@ -62,7 +62,10 @@ fn main() {
         let st5v: Vec<Vec<f64>> = st5.iter().map(|a| a.to_vec()).collect();
         let synpa_ns = run(iters, n, &synpa_coeffs, &st3v);
         let ibm_ns = run(iters, n, &ibm_coeffs, &st5v);
-        println!("{n:>6} {synpa_ns:>14.0} {ibm_ns:>14.0} {:>9.2}", synpa_ns / ibm_ns);
+        println!(
+            "{n:>6} {synpa_ns:>14.0} {ibm_ns:>14.0} {:>9.2}",
+            synpa_ns / ibm_ns
+        );
     }
     println!("\npaper claim: 3 equations instead of 5 -> ~40% lower estimation overhead");
     println!("(the ratio should sit around 3/5 = 0.60)");

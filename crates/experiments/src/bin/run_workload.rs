@@ -16,8 +16,14 @@ use synpa_experiments::{eval_config, trained_model};
 
 fn usage() -> ! {
     eprintln!("usage: run_workload <workload> <linux|synpa|greedy|random|oracle> [--reps N]");
-    eprintln!("workloads: {}", workload::standard_suite()
-        .iter().map(|w| w.name.clone()).collect::<Vec<_>>().join(" "));
+    eprintln!(
+        "workloads: {}",
+        workload::standard_suite()
+            .iter()
+            .map(|w| w.name.clone())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     std::process::exit(2)
 }
 

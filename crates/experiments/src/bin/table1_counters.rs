@@ -18,5 +18,7 @@ fn main() {
         };
         println!("{:<16} {explanation}", ev.mnemonic());
     }
-    println!("\n(4 counters total; the IBM POWER8 approach of [4] needs 6 — see overhead_comparison)");
+    println!(
+        "\n(4 counters total; the IBM POWER8 approach of [4] needs 6 — see overhead_comparison)"
+    );
 }

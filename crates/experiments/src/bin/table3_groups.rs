@@ -15,13 +15,24 @@ fn main() {
         let want = spec::expected_group(app.name()).unwrap();
         if got != want {
             mismatches += 1;
-            eprintln!("MISMATCH: {} measured {} but the paper lists {}", app.name(), got, want);
+            eprintln!(
+                "MISMATCH: {} measured {} but the paper lists {}",
+                app.name(),
+                got,
+                want
+            );
         }
-        groups.entry(got.to_string()).or_default().push(app.name().to_string());
+        groups
+            .entry(got.to_string())
+            .or_default()
+            .push(app.name().to_string());
     }
     for (group, members) in &groups {
         println!("\n{group} ({}):", members.len());
         println!("  {}", members.join(", "));
     }
-    println!("\nclassification matches the paper for {}/28 applications", 28 - mismatches);
+    println!(
+        "\nclassification matches the paper for {}/28 applications",
+        28 - mismatches
+    );
 }

@@ -6,7 +6,10 @@ use synpa_experiments::trained_model;
 fn main() {
     let (model, mse) = trained_model();
     println!("Table IV — model coefficients for the three categories");
-    println!("{:<18} {:>9} {:>9} {:>9} {:>9} {:>10}", "category", "alpha", "beta", "gamma", "rho", "MSE");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>10}",
+        "category", "alpha", "beta", "gamma", "rho", "MSE"
+    );
     for (name, c, m) in [
         ("full-dispatch", model.full_dispatch, mse[0]),
         ("frontend stalls", model.frontend, mse[1]),

@@ -34,24 +34,33 @@ fn main() {
     for x in 0..8 {
         // frontend row
         print!("{:<14}", w.apps[x]);
-        for y in 0..8 {
-            print!("{:>10.2}%", counts[x][y][0] as f64 / totals[x].max(1) as f64 * 100.0);
+        for cell in &counts[x] {
+            print!(
+                "{:>10.2}%",
+                cell[0] as f64 / totals[x].max(1) as f64 * 100.0
+            );
         }
         // synergistic share: frontend behaviour paired with backend-group
         // co-runner, or backend behaviour paired with frontend-group.
         let mut synergistic = 0u64;
-        for y in 0..8 {
+        for (y, cell) in counts[x].iter().enumerate() {
             let co_backend = group_of(y) == Group::BackendBound;
             if co_backend {
-                synergistic += counts[x][y][0];
+                synergistic += cell[0];
             } else {
-                synergistic += counts[x][y][1];
+                synergistic += cell[1];
             }
         }
-        println!("{:>10.1}%", synergistic as f64 / totals[x].max(1) as f64 * 100.0);
+        println!(
+            "{:>10.1}%",
+            synergistic as f64 / totals[x].max(1) as f64 * 100.0
+        );
         print!("{:<14}", "");
-        for y in 0..8 {
-            print!("{:>10.2}%", counts[x][y][1] as f64 / totals[x].max(1) as f64 * 100.0);
+        for cell in &counts[x] {
+            print!(
+                "{:>10.2}%",
+                cell[1] as f64 / totals[x].max(1) as f64 * 100.0
+            );
         }
         println!();
     }

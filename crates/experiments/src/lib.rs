@@ -17,8 +17,8 @@
 
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
-use synpa::prelude::*;
 use synpa::model::CategoryCoeffs;
+use synpa::prelude::*;
 
 /// Directory where experiment outputs and caches are written.
 pub fn results_dir() -> PathBuf {

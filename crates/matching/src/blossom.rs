@@ -88,8 +88,7 @@ impl Solver {
 
     #[inline]
     fn update_slack(&mut self, u: usize, x: usize) {
-        if self.slack[x] == 0
-            || self.e_delta(self.g[u][x]) < self.e_delta(self.g[self.slack[x]][x])
+        if self.slack[x] == 0 || self.e_delta(self.g[u][x]) < self.e_delta(self.g[self.slack[x]][x])
         {
             self.slack[x] = u;
         }
@@ -225,9 +224,7 @@ impl Solver {
         let children = self.flower[b].clone();
         for &xs in &children {
             for x in 1..=self.n_x {
-                if self.g[b][x].w == 0
-                    || self.e_delta(self.g[xs][x]) < self.e_delta(self.g[b][x])
-                {
+                if self.g[b][x].w == 0 || self.e_delta(self.g[xs][x]) < self.e_delta(self.g[b][x]) {
                     self.g[b][x] = self.g[xs][x];
                     self.g[x][b] = self.g[x][xs];
                 }
@@ -471,12 +468,7 @@ mod tests {
 
     #[test]
     fn cross_pairing_when_better() {
-        let w = sym(&[
-            &[0, 1, 9, 1],
-            &[1, 0, 1, 9],
-            &[9, 1, 0, 1],
-            &[1, 9, 1, 0],
-        ]);
+        let w = sym(&[&[0, 1, 9, 1], &[1, 0, 1, 9], &[9, 1, 0, 1], &[1, 9, 1, 0]]);
         let (total, mate) = max_weight_matching(&w);
         assert_eq!(total, 18);
         assert_eq!(mate[0], Some(2));
@@ -487,12 +479,7 @@ mod tests {
     fn odd_cycle_forces_blossom() {
         // Triangle with a pendant: blossom contraction required for
         // optimality on general graphs.
-        let w = sym(&[
-            &[0, 6, 6, 0],
-            &[6, 0, 6, 0],
-            &[6, 6, 0, 5],
-            &[0, 0, 5, 0],
-        ]);
+        let w = sym(&[&[0, 6, 6, 0], &[6, 0, 6, 0], &[6, 6, 0, 5], &[0, 0, 5, 0]]);
         let (total, mate) = max_weight_matching(&w);
         // Best: (0,1)=6 and (2,3)=5 -> 11.
         assert_eq!(total, 11);

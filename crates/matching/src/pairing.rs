@@ -23,7 +23,10 @@ const SCALE: f64 = 1_000_000.0;
 fn check_square_even(costs: &[Vec<f64>]) -> usize {
     let n = costs.len();
     assert!(n % 2 == 0, "perfect pairing needs an even item count");
-    assert!(costs.iter().all(|r| r.len() == n), "cost matrix must be square");
+    assert!(
+        costs.iter().all(|r| r.len() == n),
+        "cost matrix must be square"
+    );
     n
 }
 
@@ -143,6 +146,7 @@ pub fn exhaustive_min_pairing(costs: &[Vec<f64>]) -> Pairing {
 
 /// Greedy baseline: repeatedly pair the two unpaired items with the lowest
 /// cost. Fast but suboptimal; used in the matching ablation bench.
+#[allow(clippy::needless_range_loop)] // (u, v) index form mirrors the matrix
 pub fn greedy_min_pairing(costs: &[Vec<f64>]) -> Pairing {
     let n = check_square_even(costs);
     let mut used = vec![false; n];
@@ -229,10 +233,15 @@ mod tests {
     #[test]
     #[should_panic(expected = "even")]
     fn odd_count_panics() {
-        min_cost_pairing(&costs(&[&[0.0, 1.0, 1.0], &[1.0, 0.0, 1.0], &[1.0, 1.0, 0.0]]));
+        min_cost_pairing(&costs(&[
+            &[0.0, 1.0, 1.0],
+            &[1.0, 0.0, 1.0],
+            &[1.0, 1.0, 0.0],
+        ]));
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // (u, v) index form mirrors the matrix
     fn eight_apps_like_synpa() {
         // 8 items, block structure: items 0-3 "backend", 4-7 "frontend";
         // BE+BE pairs cost 3.0, FE+FE 2.0, BE+FE 1.0. Optimal: all cross

@@ -8,19 +8,17 @@ use synpa_matching::{exhaustive_min_pairing, greedy_min_pairing, min_cost_pairin
 fn cost_matrix(n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
     // Symmetric random costs in [0, 10) with 3 decimal places (keeps the
     // fixed-point conversion exact).
-    proptest::collection::vec(proptest::collection::vec(0u32..10_000, n), n).prop_map(
-        move |raw| {
-            let mut c = vec![vec![0.0; n]; n];
-            for u in 0..n {
-                for v in u + 1..n {
-                    let w = raw[u][v] as f64 / 1000.0;
-                    c[u][v] = w;
-                    c[v][u] = w;
-                }
+    proptest::collection::vec(proptest::collection::vec(0u32..10_000, n), n).prop_map(move |raw| {
+        let mut c = vec![vec![0.0; n]; n];
+        for u in 0..n {
+            for v in u + 1..n {
+                let w = raw[u][v] as f64 / 1000.0;
+                c[u][v] = w;
+                c[v][u] = w;
             }
-            c
-        },
-    )
+        }
+        c
+    })
 }
 
 fn assert_perfect(pairs: &[(usize, usize)], n: usize) {

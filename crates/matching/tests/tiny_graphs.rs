@@ -1,0 +1,133 @@
+//! Hand-verifiable matching instances: the smallest complete graphs and
+//! the classic odd-cycle (blossom) trap, each checked against both a
+//! hand-computed optimum and the exhaustive subset-DP oracle.
+
+use synpa_matching::{exhaustive_min_pairing, greedy_min_pairing, min_cost_pairing};
+
+fn square(n: usize, entries: &[(usize, usize, f64)]) -> Vec<Vec<f64>> {
+    let mut c = vec![vec![0.0; n]; n];
+    for &(u, v, w) in entries {
+        c[u][v] = w;
+        c[v][u] = w;
+    }
+    c
+}
+
+fn assert_matches_oracle(costs: &[Vec<f64>], expected_cost: f64) {
+    let blossom = min_cost_pairing(costs);
+    let oracle = exhaustive_min_pairing(costs);
+    assert!(
+        (blossom.total_cost - expected_cost).abs() < 1e-6,
+        "blossom found {} but the hand-computed optimum is {expected_cost}",
+        blossom.total_cost
+    );
+    assert!(
+        (oracle.total_cost - expected_cost).abs() < 1e-6,
+        "oracle found {} but the hand-computed optimum is {expected_cost}",
+        oracle.total_cost
+    );
+    assert_eq!(blossom.pairs, oracle.pairs, "unique optimum must agree");
+}
+
+#[test]
+fn k2_single_pair() {
+    let costs = square(2, &[(0, 1, 3.5)]);
+    let p = min_cost_pairing(&costs);
+    assert_eq!(p.pairs, vec![(0, 1)]);
+    assert!((p.total_cost - 3.5).abs() < 1e-9);
+    assert_matches_oracle(&costs, 3.5);
+}
+
+#[test]
+fn k4_picks_the_cheap_diagonal() {
+    // Three perfect pairings of K4:
+    //   (01)(23) = 1 + 1 = 2   <- optimum
+    //   (02)(13) = 5 + 5 = 10
+    //   (03)(12) = 9 + 2 = 11
+    let costs = square(
+        4,
+        &[
+            (0, 1, 1.0),
+            (2, 3, 1.0),
+            (0, 2, 5.0),
+            (1, 3, 5.0),
+            (0, 3, 9.0),
+            (1, 2, 2.0),
+        ],
+    );
+    let p = min_cost_pairing(&costs);
+    assert_eq!(p.pairs, vec![(0, 1), (2, 3)]);
+    assert_matches_oracle(&costs, 2.0);
+}
+
+#[test]
+fn k4_greedy_trap() {
+    // Greedy grabs the single cheapest edge (0,1)=1 and is then forced
+    // into (2,3)=10 for a total of 11; the optimum avoids the trap:
+    // (0,2)(1,3) = 2 + 2 = 4.
+    let costs = square(
+        4,
+        &[
+            (0, 1, 1.0),
+            (2, 3, 10.0),
+            (0, 2, 2.0),
+            (1, 3, 2.0),
+            (0, 3, 8.0),
+            (1, 2, 8.0),
+        ],
+    );
+    assert_matches_oracle(&costs, 4.0);
+    let greedy = greedy_min_pairing(&costs);
+    assert!(
+        (greedy.total_cost - 11.0).abs() < 1e-9,
+        "greedy should fall into the trap"
+    );
+}
+
+#[test]
+fn odd_cycle_blossom_case() {
+    // Six nodes; cheap cost-1 edges form the odd cycle 0-1-2-3-4-0, and
+    // node 5 hangs off node 0 cheaply. A 5-cycle has no perfect matching
+    // on its own (odd), so any perfect pairing must leave the cycle: the
+    // optimum is (0,5) + two cycle edges that don't touch node 0 and
+    // don't share nodes: (1,2) and (3,4) -> total 1 + 1 + 1 = 3.
+    // Every other edge costs 100.
+    let mut costs = square(6, &[]);
+    for (u, row) in costs.iter_mut().enumerate() {
+        for (v, cell) in row.iter_mut().enumerate() {
+            if u != v {
+                *cell = 100.0;
+            }
+        }
+    }
+    for &(u, v) in &[(0usize, 1usize), (1, 2), (2, 3), (3, 4), (4, 0)] {
+        costs[u][v] = 1.0;
+        costs[v][u] = 1.0;
+    }
+    costs[0][5] = 1.0;
+    costs[5][0] = 1.0;
+    assert_matches_oracle(&costs, 3.0);
+    let p = min_cost_pairing(&costs);
+    assert_eq!(p.pairs, vec![(0, 5), (1, 2), (3, 4)]);
+}
+
+#[test]
+fn empty_matrix_is_the_empty_pairing() {
+    let p = min_cost_pairing(&[]);
+    assert!(p.pairs.is_empty());
+    assert_eq!(p.total_cost, 0.0);
+}
+
+#[test]
+fn asymmetric_input_is_symmetrized_by_averaging() {
+    // cost(0,1)=4, cost(1,0)=2: the pair's effective cost per direction
+    // averages to 3, and total_cost reports the matrix entry convention
+    // used by the solver. Both orientations must agree with the oracle.
+    let mut costs = square(2, &[]);
+    costs[0][1] = 4.0;
+    costs[1][0] = 2.0;
+    let blossom = min_cost_pairing(&costs);
+    let oracle = exhaustive_min_pairing(&costs);
+    assert_eq!(blossom.pairs, vec![(0, 1)]);
+    assert!((blossom.total_cost - oracle.total_cost).abs() < 1e-6);
+}

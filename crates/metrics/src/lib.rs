@@ -152,6 +152,52 @@ mod tests {
         assert_eq!(coefficient_of_variation(&[0.0, 0.0]), 0.0);
     }
 
+    #[test]
+    fn geomean_of_empty_is_zero() {
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_of_singleton_is_the_value() {
+        assert!((geomean(&[3.25]) - 3.25).abs() < 1e-12);
+        assert!((geomean(&[1e-9]) - 1e-9).abs() < 1e-21);
+    }
+
+    #[test]
+    fn tt_speedup_identity() {
+        for tt in [1.0, 123.456, 3e8] {
+            assert!((tt_speedup(tt, tt) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn tt_speedup_rejects_zero_policy_time() {
+        tt_speedup(100.0, 0.0);
+    }
+
+    #[test]
+    fn fairness_of_singleton_is_one() {
+        // One application has zero spread by definition.
+        assert_eq!(fairness(&[0.7]), 1.0);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn fairness_in_unit_interval_for_bounded_spread(
+            base in 0.1f64..1.0,
+            ratios in proptest::collection::vec(1.0f64..2.0, 2..10),
+        ) {
+            // Speedups within a 2x band: |x - mean| <= min <= mean, so the
+            // CV is at most 1 and fairness lands in [0, 1]. (Wilder spreads
+            // can push the CV above 1, so no global lower bound exists.)
+            let xs: Vec<f64> = ratios.iter().map(|r| base * r).collect();
+            let f = fairness(&xs);
+            proptest::prop_assert!(f <= 1.0 + 1e-12, "fairness {f} above 1");
+            proptest::prop_assert!(f >= -1e-12, "fairness {f} below 0 for 2x spread");
+        }
+    }
+
     proptest::proptest! {
         #[test]
         fn fairness_bounded_above_by_one(xs in proptest::collection::vec(0.01f64..2.0, 2..10)) {

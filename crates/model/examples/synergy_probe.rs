@@ -8,20 +8,34 @@ use synpa_sim::{Chip, ChipConfig, Slot};
 
 fn ipc_pair(a: &str, b: &str) -> (f64, f64) {
     let mut chip = Chip::new(ChipConfig::thunderx2(1));
-    chip.attach(Slot(0), 0, Box::new(spec::by_name(a).unwrap().with_length(u64::MAX)));
-    chip.attach(Slot(1), 1, Box::new(spec::by_name(b).unwrap().with_length(u64::MAX)));
+    chip.attach(
+        Slot(0),
+        0,
+        Box::new(spec::by_name(a).unwrap().with_length(u64::MAX)),
+    );
+    chip.attach(
+        Slot(1),
+        1,
+        Box::new(spec::by_name(b).unwrap().with_length(u64::MAX)),
+    );
     chip.run_cycles(60_000);
     let mut s = SamplingSession::new();
     s.sample(&chip, &[0, 1]);
     chip.run_cycles(100_000);
     let d = s.sample(&chip, &[0, 1]);
-    (d[0].1.inst_retired as f64 / d[0].1.cpu_cycles as f64,
-     d[1].1.inst_retired as f64 / d[1].1.cpu_cycles as f64)
+    (
+        d[0].1.inst_retired as f64 / d[0].1.cpu_cycles as f64,
+        d[1].1.inst_retired as f64 / d[1].1.cpu_cycles as f64,
+    )
 }
 
 fn ipc_solo(a: &str) -> f64 {
     let mut chip = Chip::new(ChipConfig::thunderx2(1));
-    chip.attach(Slot(0), 0, Box::new(spec::by_name(a).unwrap().with_length(u64::MAX)));
+    chip.attach(
+        Slot(0),
+        0,
+        Box::new(spec::by_name(a).unwrap().with_length(u64::MAX)),
+    );
     chip.run_cycles(60_000);
     let mut s = SamplingSession::new();
     s.sample(&chip, &[0]);
@@ -31,12 +45,31 @@ fn ipc_solo(a: &str) -> f64 {
 }
 
 fn main() {
-    let apps = ["mcf", "lbm_r", "xalancbmk_r", "gobmk", "leela_r", "perlbench", "nab_r", "hmmer"];
+    let apps = [
+        "mcf",
+        "lbm_r",
+        "xalancbmk_r",
+        "gobmk",
+        "leela_r",
+        "perlbench",
+        "nab_r",
+        "hmmer",
+    ];
     let solos: Vec<f64> = apps.iter().map(|a| ipc_solo(a)).collect();
-    println!("{:<12} solo IPC: {:?}", "apps", apps.iter().zip(&solos).map(|(a,s)| format!("{a}={s:.2}")).collect::<Vec<_>>().join(" "));
+    println!(
+        "{:<12} solo IPC: {:?}",
+        "apps",
+        apps.iter()
+            .zip(&solos)
+            .map(|(a, s)| format!("{a}={s:.2}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
     println!("\npair slowdown matrix (row app's slowdown vs solo, when paired with col):");
     print!("{:<12}", "");
-    for b in &apps { print!("{:>11}", b); }
+    for b in &apps {
+        print!("{:>11}", b);
+    }
     println!();
     for (i, a) in apps.iter().enumerate() {
         print!("{:<12}", a);

@@ -8,17 +8,31 @@ fn main() {
     let t0 = std::time::Instant::now();
     // Paper: 22 of 28 apps for training (80%).
     let all = spec::catalog();
-    let apps: Vec<_> = all.iter().enumerate().filter(|(i, _)| i % 14 != 6 && i % 14 != 13).map(|(_, a)| a.clone()).collect();
+    let apps: Vec<_> = all
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % 14 != 6 && i % 14 != 13)
+        .map(|(_, a)| a.clone())
+        .collect();
     println!("training on {} apps", apps.len());
     let report = train(&apps, &TrainingConfig::default(), 16);
     println!("elapsed {:?}", t0.elapsed());
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}  MSE", "category", "alpha", "beta", "gamma", "rho");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}  MSE",
+        "category", "alpha", "beta", "gamma", "rho"
+    );
     for (name, c, mse) in [
         ("full-dispatch", report.model.full_dispatch, report.mse[0]),
         ("frontend", report.model.frontend, report.mse[1]),
         ("backend", report.model.backend, report.mse[2]),
     ] {
-        println!("{:<16} {:>8.4} {:>8.4} {:>8.4} {:>8.4}  {:.4}", name, c.alpha, c.beta, c.gamma, c.rho, mse);
+        println!(
+            "{:<16} {:>8.4} {:>8.4} {:>8.4} {:>8.4}  {:.4}",
+            name, c.alpha, c.beta, c.gamma, c.rho, mse
+        );
     }
-    println!("train {} / test {}", report.train_samples, report.test_samples);
+    println!(
+        "train {} / test {}",
+        report.train_samples, report.test_samples
+    );
 }

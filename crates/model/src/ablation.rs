@@ -57,8 +57,8 @@ pub fn ten_categories(d: &PmuDelta, dispatch_width: u32) -> [f64; TEN] {
     // residue (e.g. rounding) goes to the "other" buckets.
     let fe_icache = e.stall_icache.min(d.stall_frontend) as f64;
     let fe_branch = (d.stall_frontend as f64 - fe_icache).max(0.0);
-    let be_attr = e.stall_dcache + e.stall_rob_full + e.stall_iq_full + e.stall_lsq_full
-        + e.stall_width;
+    let be_attr =
+        e.stall_dcache + e.stall_rob_full + e.stall_iq_full + e.stall_lsq_full + e.stall_width;
     let be_other = (d.stall_backend as f64 - be_attr as f64).max(0.0);
     [
         full / inst,
@@ -207,7 +207,11 @@ pub fn fit_ten(samples: &[TenSample], cfg: &TrainingConfig) -> TenFitReport {
     let split = ((shuffled.len() as f64) * cfg.train_fraction).round() as usize;
     let split = split.clamp(4.min(shuffled.len()), shuffled.len());
     let (train_set, test_set) = shuffled.split_at(split);
-    let test_set = if test_set.is_empty() { train_set } else { test_set };
+    let test_set = if test_set.is_empty() {
+        train_set
+    } else {
+        test_set
+    };
 
     let mut coeffs = Vec::with_capacity(TEN);
     let mut mse = Vec::with_capacity(TEN);

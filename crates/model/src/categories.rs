@@ -104,11 +104,7 @@ impl Categories {
         if t <= 0.0 {
             return [0.0; 3];
         }
-        [
-            self.full_dispatch / t,
-            self.frontend / t,
-            self.backend / t,
-        ]
+        [self.full_dispatch / t, self.frontend / t, self.backend / t]
     }
 }
 

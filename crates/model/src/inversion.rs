@@ -63,7 +63,11 @@ pub fn invert_category(coeffs: &CategoryCoeffs, c_ij: f64, c_ji: f64) -> (f64, f
 
 /// Inverts the full three-category model: from the two threads' observed
 /// SMT categories, recover both threads' estimated ST categories.
-pub fn invert(model: &SynpaModel, smt_ij: &Categories, smt_ji: &Categories) -> (Categories, Categories) {
+pub fn invert(
+    model: &SynpaModel,
+    smt_ij: &Categories,
+    smt_ji: &Categories,
+) -> (Categories, Categories) {
     let (fd_i, fd_j) = invert_category(
         &model.full_dispatch,
         smt_ij.full_dispatch,

@@ -4,6 +4,7 @@
 
 /// Solves `A x = b` in place for square `A`. Returns `None` if the matrix is
 /// singular to working precision.
+#[allow(clippy::needless_range_loop)] // row/col index form mirrors the math
 pub fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
     let n = a.len();
     assert!(a.iter().all(|r| r.len() == n), "matrix must be square");

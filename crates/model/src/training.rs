@@ -60,7 +60,7 @@ impl Default for TrainingConfig {
             st_quanta: 30,
             smt_quanta: 12,
             train_fraction: 0.8,
-            seed: 0xC0FF_EE,
+            seed: 0x00C0_FFEE,
             split: RevealsSplit::AllToBackend,
         }
     }
@@ -124,7 +124,10 @@ pub fn st_profile(app: &AppProfile, cfg: &TrainingConfig) -> StProfile {
         chip.run_cycles(cfg.quantum);
         let (_, delta) = session.sample(&chip, &[0]).pop().expect("app placed");
         cum_inst += delta.inst_retired;
-        quanta.push((cum_inst, Categories::from_delta_with(&delta, width, cfg.split)));
+        quanta.push((
+            cum_inst,
+            Categories::from_delta_with(&delta, width, cfg.split),
+        ));
     }
     StProfile {
         name: app.name().to_string(),
@@ -245,11 +248,7 @@ pub fn collect_all_samples(
     threads: usize,
 ) -> Vec<PairSample> {
     // Isolated profiles (parallel over apps).
-    let profiles: Vec<StProfile> = run_parallel(
-        apps.len(),
-        threads,
-        |i| st_profile(&apps[i], cfg),
-    );
+    let profiles: Vec<StProfile> = run_parallel(apps.len(), threads, |i| st_profile(&apps[i], cfg));
     // All unordered pairs, including (i, i): two instances of one app.
     let mut pairs = Vec::new();
     for i in 0..apps.len() {
@@ -301,7 +300,11 @@ pub fn fit_from_samples(samples: &[PairSample], cfg: &TrainingConfig) -> FitRepo
     // on the held-out set (§VI-A: the authors likewise chose the design
     // "showing the most accurate regression model" after evaluating
     // alternatives end to end).
-    let eval_set = if test_set.is_empty() { train_set } else { test_set };
+    let eval_set = if test_set.is_empty() {
+        train_set
+    } else {
+        test_set
+    };
     // The matcher consumes predicted *slowdowns* and trades them off across
     // applications, so the selection criterion is the held-out error of the
     // predicted slowdown (not per-category CPI error: that underweights
@@ -420,7 +423,11 @@ pub fn pair_samples_from_trace(
 }
 
 /// Runs `n` independent jobs on up to `threads` workers, preserving order.
-pub(crate) fn run_parallel<T: Send>(n: usize, threads: usize, job: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn run_parallel<T: Send>(
+    n: usize,
+    threads: usize,
+    job: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
     let threads = threads.max(1).min(n.max(1));
     let next = std::sync::atomic::AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
@@ -547,8 +554,7 @@ mod tests {
                 records.push(QuantumRecord::from_delta(q, app, &d));
             }
         }
-        let offline =
-            pair_samples_from_trace(&records, 0, 1, &pa, &pb, width, cfg.split);
+        let offline = pair_samples_from_trace(&records, 0, 1, &pa, &pb, width, cfg.split);
         assert_eq!(offline.len(), live.len());
         for (x, y) in offline.iter().zip(&live) {
             assert_eq!(x.smt_ij.as_array(), y.smt_ij.as_array());

@@ -11,7 +11,9 @@ use synpa_apps::workload;
 use synpa_sched::*;
 
 fn pairings(items: &[usize]) -> Vec<Vec<(usize, usize)>> {
-    if items.is_empty() { return vec![vec![]]; }
+    if items.is_empty() {
+        return vec![vec![]];
+    }
     let a = items[0];
     let mut out = Vec::new();
     for i in 1..items.len() {
@@ -28,7 +30,10 @@ fn pairings(items: &[usize]) -> Vec<Vec<(usize, usize)>> {
 fn main() {
     let name = std::env::args().nth(1).unwrap_or("fb7".into());
     let w = workload::by_name(&name).unwrap();
-    let cfg = ExperimentConfig { reps: 1, ..Default::default() };
+    let cfg = ExperimentConfig {
+        reps: 1,
+        ..Default::default()
+    };
     let prepared = prepare_workload(&w, &cfg);
     let all = pairings(&(0..8).collect::<Vec<_>>());
     let results = parallel_map(&all, 16, |pairs| {
@@ -43,14 +48,17 @@ fn main() {
     println!("workload {name}: apps {:?}", w.apps);
     for (rank, (pairs, tt)) in sorted.iter().enumerate() {
         if rank < 5 || rank >= sorted.len() - 3 {
-            let names: Vec<String> = pairs.iter().map(|&(a,b)| format!("{}+{}", w.apps[a], w.apps[b])).collect();
+            let names: Vec<String> = pairs
+                .iter()
+                .map(|&(a, b)| format!("{}+{}", w.apps[a], w.apps[b]))
+                .collect();
             println!("  #{rank:>3} TT {tt}: {names:?}");
         }
     }
     // where is linux's pairing (0,4),(1,5),(2,6),(3,7)?
-    let linux: Vec<(usize,usize)> = (0..4).map(|k| (k, k+4)).collect();
+    let linux: Vec<(usize, usize)> = (0..4).map(|k| (k, k + 4)).collect();
     let pos = sorted.iter().position(|(p, _)| {
-        let mut a: Vec<_> = p.iter().map(|&(x,y)| (x.min(y), x.max(y))).collect();
+        let mut a: Vec<_> = p.iter().map(|&(x, y)| (x.min(y), x.max(y))).collect();
         a.sort();
         a == linux
     });

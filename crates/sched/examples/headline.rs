@@ -8,23 +8,35 @@ use synpa_sched::*;
 fn main() {
     // Train on ~80% of apps (paper §IV-C).
     let all = spec::catalog();
-    let train_apps: Vec<_> = all.iter().enumerate()
+    let train_apps: Vec<_> = all
+        .iter()
+        .enumerate()
         .filter(|(i, _)| i % 14 != 6 && i % 14 != 13)
-        .map(|(_, a)| a.clone()).collect();
+        .map(|(_, a)| a.clone())
+        .collect();
     let t0 = std::time::Instant::now();
     let report = train(&train_apps, &TrainingConfig::default(), 16);
-    eprintln!("trained in {:?}; BE coeffs {:?}", t0.elapsed(), report.model.backend);
+    eprintln!(
+        "trained in {:?}; BE coeffs {:?}",
+        t0.elapsed(),
+        report.model.backend
+    );
     let model = report.model;
 
-    let cfg = ExperimentConfig { reps: 5, ..Default::default() };
+    let cfg = ExperimentConfig {
+        reps: 5,
+        ..Default::default()
+    };
     for name in ["be1", "fe2", "fb2", "fb0", "fb5"] {
         let w = workload::by_name(name).unwrap();
         let prepared = prepare_workload(&w, &cfg);
         let linux = run_cell(&prepared, |_| Box::new(LinuxLike), &cfg);
         let synpa = run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg);
         let speedup = linux.tt_mean / synpa.tt_mean;
-        println!("{name}: linux TT {:.0} synpa TT {:.0} speedup {:.3} (migrations/run {})",
-            linux.tt_mean, synpa.tt_mean, speedup, synpa.exemplar.migrations);
+        println!(
+            "{name}: linux TT {:.0} synpa TT {:.0} speedup {:.3} (migrations/run {})",
+            linux.tt_mean, synpa.tt_mean, speedup, synpa.exemplar.migrations
+        );
     }
     eprintln!("total {:?}", t0.elapsed());
 }

@@ -26,6 +26,6 @@ pub use policy::{
     StaticPairs, Synpa,
 };
 pub use runner::{
-    cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome,
-    ExperimentConfig, PreparedWorkload,
+    cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome, ExperimentConfig,
+    PreparedWorkload,
 };

@@ -230,7 +230,14 @@ mod tests {
 
     fn small_workload() -> (Vec<AppProfile>, Vec<f64>) {
         let names = [
-            "mcf", "xalancbmk_r", "gobmk", "perlbench", "nab_r", "hmmer", "leela_r", "astar",
+            "mcf",
+            "xalancbmk_r",
+            "gobmk",
+            "perlbench",
+            "nab_r",
+            "hmmer",
+            "leela_r",
+            "astar",
         ];
         let apps: Vec<AppProfile> = names
             .iter()

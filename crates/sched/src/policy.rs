@@ -50,7 +50,10 @@ impl QuantumView<'_> {
 
     /// The counter delta of one application, if sampled this quantum.
     pub fn delta_of(&self, app: usize) -> Option<&PmuDelta> {
-        self.samples.iter().find(|(id, _)| *id == app).map(|(_, d)| d)
+        self.samples
+            .iter()
+            .find(|(id, _)| *id == app)
+            .map(|(_, d)| d)
     }
 }
 
@@ -619,9 +622,8 @@ mod tests {
             dispatch_width: 4,
         };
         let first = policy.decide(&view).expect("applies at quantum 0");
-        let core = |p: &[(usize, Slot)], x: usize| {
-            p.iter().find(|&&(a, _)| a == x).unwrap().1.core(2)
-        };
+        let core =
+            |p: &[(usize, Slot)], x: usize| p.iter().find(|&&(a, _)| a == x).unwrap().1.core(2);
         assert_eq!(core(&first, 0), core(&first, 1));
         assert!(policy.decide(&view).is_none(), "never re-applies");
     }

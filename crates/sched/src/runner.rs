@@ -120,7 +120,11 @@ pub struct CellOutcome {
 /// Runs one workload under one policy for `cfg.reps` repetitions and
 /// aggregates with the outlier rule. `make_policy` builds a fresh policy
 /// per repetition (seeded by the rep seed where relevant).
-pub fn run_cell<F>(prepared: &PreparedWorkload, make_policy: F, cfg: &ExperimentConfig) -> CellOutcome
+pub fn run_cell<F>(
+    prepared: &PreparedWorkload,
+    make_policy: F,
+    cfg: &ExperimentConfig,
+) -> CellOutcome
 where
     F: Fn(u64) -> Box<dyn Policy> + Sync,
 {
@@ -139,7 +143,14 @@ where
     let n = prepared.apps.len();
     let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len().max(1) as f64;
     let app_ipc: Vec<f64> = (0..n)
-        .map(|k| mean(&kept_results.iter().map(|r| r.per_app[k].ipc).collect::<Vec<_>>()))
+        .map(|k| {
+            mean(
+                &kept_results
+                    .iter()
+                    .map(|r| r.per_app[k].ipc)
+                    .collect::<Vec<_>>(),
+            )
+        })
         .collect();
     let app_speedup: Vec<f64> = (0..n)
         .map(|k| {
@@ -165,11 +176,7 @@ where
         tt_runs: kept_tts,
         app_ipc,
         app_speedup,
-        app_names: prepared
-            .apps
-            .iter()
-            .map(|a| a.name().to_string())
-            .collect(),
+        app_names: prepared.apps.iter().map(|a| a.name().to_string()).collect(),
         exemplar: results[kept[0]].clone(),
     }
 }

@@ -38,7 +38,9 @@ pub struct Chip {
 impl Chip {
     /// Builds a chip per `cfg` with every slot empty.
     pub fn new(cfg: ChipConfig) -> Self {
-        let cores = (0..cfg.cores as usize).map(|i| Core::new(i, &cfg)).collect();
+        let cores = (0..cfg.cores as usize)
+            .map(|i| Core::new(i, &cfg))
+            .collect();
         Self {
             llc: Cache::new(cfg.llc),
             mem: Memory::new(cfg.mem_latency, cfg.mem_queue_penalty),
@@ -144,7 +146,10 @@ impl Chip {
                 t.apply_migration(self.cycle, self.cfg.migration_penalty);
             }
             let ctx = &mut self.cores[dst.core(smt)].ctx[dst.ctx(smt)];
-            assert!(ctx.is_none(), "target slot {dst:?} occupied by unlisted app");
+            assert!(
+                ctx.is_none(),
+                "target slot {dst:?} occupied by unlisted app"
+            );
             *ctx = Some(t);
         }
     }
@@ -155,7 +160,13 @@ impl Chip {
         while self.cycle < end {
             self.mem.tick(self.cycle);
             for core in &mut self.cores {
-                core.step(self.cycle, &self.cfg, &mut self.llc, &mut self.mem, &mut self.events);
+                core.step(
+                    self.cycle,
+                    &self.cfg,
+                    &mut self.llc,
+                    &mut self.mem,
+                    &mut self.events,
+                );
             }
             self.cycle += 1;
         }
@@ -292,7 +303,10 @@ mod tests {
                 break;
             }
         }
-        assert!(seen, "program of length 10k should finish within 50k cycles");
+        assert!(
+            seen,
+            "program of length 10k should finish within 50k cycles"
+        );
         assert!(chip.launches_of(5).unwrap() >= 1);
     }
 

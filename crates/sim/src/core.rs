@@ -221,30 +221,29 @@ impl Core {
             let mut worst_lat: u32 = 0;
             for _ in 0..m {
                 t.sample_tick += 1;
-                let (lat, missed) = if cfg.cache_sample <= 1
-                    || t.sample_tick % cfg.cache_sample == 0
-                {
-                    let addr = t.data_stream.next(&mut t.rng);
-                    t.pmu.ext.l1d_access += 1;
-                    // Streaming footprints far beyond a level bypass its
-                    // allocation (streaming-resistant replacement), so a
-                    // memory hog cannot flush its co-runner's working set.
-                    let bypass_l2 = t.phase.data_footprint > 4 * cfg.l2.size_bytes;
-                    // The LLC is shared by every thread on the chip: only
-                    // working sets that could plausibly hold a useful share
-                    // allocate; larger streams bypass so they cannot flush
-                    // the small-footprint apps that depend on it.
-                    let bypass_llc = t.phase.data_footprint > cfg.llc.size_bytes / 2;
-                    let r = data_access(l1d, l2, llc, mem, now, addr, bypass_l2, bypass_llc);
-                    if r.1 {
-                        t.pmu.ext.l1d_miss += 1;
-                    }
-                    t.last_data_latency = r.0;
-                    t.last_data_missed = r.1;
-                    r
-                } else {
-                    (t.last_data_latency, t.last_data_missed)
-                };
+                let (lat, missed) =
+                    if cfg.cache_sample <= 1 || t.sample_tick % cfg.cache_sample == 0 {
+                        let addr = t.data_stream.next(&mut t.rng);
+                        t.pmu.ext.l1d_access += 1;
+                        // Streaming footprints far beyond a level bypass its
+                        // allocation (streaming-resistant replacement), so a
+                        // memory hog cannot flush its co-runner's working set.
+                        let bypass_l2 = t.phase.data_footprint > 4 * cfg.l2.size_bytes;
+                        // The LLC is shared by every thread on the chip: only
+                        // working sets that could plausibly hold a useful share
+                        // allocate; larger streams bypass so they cannot flush
+                        // the small-footprint apps that depend on it.
+                        let bypass_llc = t.phase.data_footprint > cfg.llc.size_bytes / 2;
+                        let r = data_access(l1d, l2, llc, mem, now, addr, bypass_l2, bypass_llc);
+                        if r.1 {
+                            t.pmu.ext.l1d_miss += 1;
+                        }
+                        t.last_data_latency = r.0;
+                        t.last_data_missed = r.1;
+                        r
+                    } else {
+                        (t.last_data_latency, t.last_data_missed)
+                    };
                 if missed {
                     misses += 1;
                 }
@@ -541,8 +540,14 @@ mod tests {
         let a = core.ctx[0].as_ref().unwrap().pmu.inst_retired;
         let b = core.ctx[1].as_ref().unwrap().pmu.inst_retired;
 
-        assert!(a < solo_compute, "SMT thread slower than solo: {a} vs {solo_compute}");
-        assert!(b < solo_mem, "SMT thread slower than solo: {b} vs {solo_mem}");
+        assert!(
+            a < solo_compute,
+            "SMT thread slower than solo: {a} vs {solo_compute}"
+        );
+        assert!(
+            b < solo_mem,
+            "SMT thread slower than solo: {b} vs {solo_mem}"
+        );
         let time_sliced = (solo_compute + solo_mem) / 2;
         assert!(
             a + b > time_sliced,
@@ -551,7 +556,7 @@ mod tests {
         );
     }
 
-        #[test]
+    #[test]
     fn pmu_accounting_identity_holds_in_smt() {
         let cfg = ChipConfig::thunderx2(1);
         let (mut core, mut llc, mut mem) = setup(&cfg);
@@ -560,8 +565,7 @@ mod tests {
         run(&mut core, &cfg, &mut llc, &mut mem, 10_000);
         for t in core.ctx.iter().flatten() {
             // Each cycle is exactly one of: dispatched>0, FE stall, BE stall.
-            let dispatch_cycles =
-                t.pmu.cpu_cycles - t.pmu.stall_frontend - t.pmu.stall_backend;
+            let dispatch_cycles = t.pmu.cpu_cycles - t.pmu.stall_frontend - t.pmu.stall_backend;
             assert!(dispatch_cycles > 0);
             // Dispatch (incl. squashed wrong-path µops) is width-bounded per
             // active cycle.

@@ -49,8 +49,7 @@ impl Memory {
     /// Issues an access at `cycle`, returning its latency in cycles.
     pub fn access(&mut self, cycle: u64) -> u32 {
         self.tick(cycle);
-        let latency = self.base_latency
-            + (self.queue_penalty * self.outstanding as f64) as u32;
+        let latency = self.base_latency + (self.queue_penalty * self.outstanding as f64) as u32;
         let latency = latency.min((WHEEL - 2) as u32);
         let done = ((cycle + latency as u64) as usize) & (WHEEL - 1);
         self.wheel[done] += 1;

@@ -197,9 +197,9 @@ impl HwThread {
         while self.mshr_tick < now {
             self.mshr_tick += 1;
             let slot = (self.mshr_tick as usize) & (MSHR_WHEEL - 1);
-            self.outstanding_misses = self.outstanding_misses.saturating_sub(
-                u32::from(self.mshr_wheel[slot]),
-            );
+            self.outstanding_misses = self
+                .outstanding_misses
+                .saturating_sub(u32::from(self.mshr_wheel[slot]));
             self.mshr_wheel[slot] = 0;
         }
     }

@@ -25,7 +25,7 @@ fn chip8() -> Chip {
 fn random_replacements_preserve_accounting() {
     let mut chip = chip8();
     let mut rng = SplitMix64::new(99);
-    let mut last_retired = vec![0u64; 8];
+    let mut last_retired = [0u64; 8];
     for round in 0..50 {
         chip.run_cycles(2_000);
         // Random permutation of apps onto slots.
@@ -34,26 +34,22 @@ fn random_replacements_preserve_accounting() {
             let j = rng.next_below(i as u64 + 1) as usize;
             slots.swap(i, j);
         }
-        let placement: Vec<(usize, Slot)> =
-            (0..8).map(|app| (app, Slot(slots[app]))).collect();
+        let placement: Vec<(usize, Slot)> = (0..8).map(|app| (app, Slot(slots[app]))).collect();
         chip.set_placement(&placement);
         // Placement reported back matches the request.
         for &(app, slot) in &placement {
             assert_eq!(chip.slot_of(app), Some(slot), "round {round}");
         }
         // Retired counters are monotonic across migrations.
-        for app in 0..8 {
+        for (app, last) in last_retired.iter_mut().enumerate() {
             let retired = chip.pmu_of(app).unwrap().inst_retired;
-            assert!(
-                retired >= last_retired[app],
-                "round {round}: app {app} lost progress"
-            );
-            last_retired[app] = retired;
+            assert!(retired >= *last, "round {round}: app {app} lost progress");
+            *last = retired;
         }
     }
     // Despite constant migration, every app made progress.
-    for app in 0..8 {
-        assert!(last_retired[app] > 0, "app {app} never retired");
+    for (app, &retired) in last_retired.iter().enumerate() {
+        assert!(retired > 0, "app {app} never retired");
     }
 }
 

@@ -29,8 +29,16 @@ fn solo_ipc(name: &str) -> f64 {
 /// measured dispatch-stall fractions.
 fn co_run(a: &str, b: &str, solo_a: f64, solo_b: f64) -> ((f64, Fractions), (f64, Fractions)) {
     let mut chip = Chip::new(ChipConfig::thunderx2(1));
-    chip.attach(Slot(0), 0, Box::new(spec::by_name(a).unwrap().with_length(u64::MAX)));
-    chip.attach(Slot(1), 1, Box::new(spec::by_name(b).unwrap().with_length(u64::MAX)));
+    chip.attach(
+        Slot(0),
+        0,
+        Box::new(spec::by_name(a).unwrap().with_length(u64::MAX)),
+    );
+    chip.attach(
+        Slot(1),
+        1,
+        Box::new(spec::by_name(b).unwrap().with_length(u64::MAX)),
+    );
     chip.run_cycles(WARMUP);
     let mut s = SamplingSession::new();
     s.sample(&chip, &[0, 1]);

@@ -90,8 +90,7 @@ fn oracle_and_random_policies_complete() {
         .iter()
         .enumerate()
         .map(|(k, app)| {
-            let prof =
-                synpa::model::training::st_profile(app, &TrainingConfig::default());
+            let prof = synpa::model::training::st_profile(app, &TrainingConfig::default());
             (k, prof.mean())
         })
         .collect();

@@ -3,18 +3,18 @@
 //! guarantees must hold.
 
 use proptest::prelude::*;
-use synpa::sim::{Chip, ChipConfig, PhaseParams, Slot, ThreadProgram, UniformProgram};
+use synpa::sim::{Chip, ChipConfig, PhaseParams, Slot, UniformProgram};
 
 fn arb_phase() -> impl Strategy<Value = PhaseParams> {
     (
-        0.0f64..0.5,          // mem_ratio
-        1u64..8192,           // data footprint (KiB)
-        0.0f64..1.0,          // data_seq
-        1u64..256,            // code footprint (KiB)
-        0.5f64..1.0,          // code_hot
-        0.0f64..0.02,         // br_misp_rate
-        1u32..6,              // exec_latency
-        0.0f64..1.0,          // mlp
+        0.0f64..0.5,  // mem_ratio
+        1u64..8192,   // data footprint (KiB)
+        0.0f64..1.0,  // data_seq
+        1u64..256,    // code footprint (KiB)
+        0.5f64..1.0,  // code_hot
+        0.0f64..0.02, // br_misp_rate
+        1u32..6,      // exec_latency
+        0.0f64..1.0,  // mlp
     )
         .prop_map(
             |(mem_ratio, data_kb, data_seq, code_kb, code_hot, br, exec_latency, mlp)| {
@@ -124,11 +124,7 @@ fn completion_accounting_matches_targets() {
     // the launch length, repeatedly.
     let p = PhaseParams::compute();
     let mut chip = Chip::new(ChipConfig::thunderx2(1));
-    chip.attach(
-        Slot(0),
-        0,
-        Box::new(UniformProgram::new("short", p, 5_000)),
-    );
+    chip.attach(Slot(0), 0, Box::new(UniformProgram::new("short", p, 5_000)));
     let mut completions = 0u64;
     for _ in 0..40 {
         completions += chip.run_cycles(1_000).len() as u64;

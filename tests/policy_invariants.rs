@@ -153,7 +153,9 @@ proptest! {
 #[test]
 fn metrics_are_consistent_on_real_run_results() {
     // A tiny real run: metric relationships hold on genuine data.
-    let names = ["mcf", "gobmk", "nab_r", "hmmer", "lbm_r", "astar", "bzip2", "tonto"];
+    let names = [
+        "mcf", "gobmk", "nab_r", "hmmer", "lbm_r", "astar", "bzip2", "tonto",
+    ];
     let apps: Vec<AppProfile> = names
         .iter()
         .map(|n| spec::by_name(n).unwrap().with_length(40_000))

@@ -5,7 +5,6 @@
 use synpa::counters::{read_trace, QuantumRecord, SamplingSession, TraceReplay, TraceWriter};
 use synpa::model::Categories;
 use synpa::prelude::*;
-use synpa::sim::ThreadProgram;
 
 fn record_run(quanta: u64, quantum_cycles: u64) -> (Vec<QuantumRecord>, Vec<Categories>) {
     let mut chip = Chip::new(ChipConfig::thunderx2(1));

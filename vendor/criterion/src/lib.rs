@@ -1,0 +1,236 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored
+//! crate mirrors the API shape the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `Throughput`, and `Bencher::iter` — backed by a
+//! plain wall-clock timing loop. Output is one line per benchmark with
+//! the median ns/iter over the measured batches.
+//!
+//! There is no statistical analysis, warm-up modelling, or HTML report;
+//! numbers are medians of short batches and are good for coarse
+//! comparisons only. Honors `CRITERION_QUICK=1` to cut measurement time
+//! (used by CI smoke runs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _parent: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, &mut f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Records the per-iteration workload size (reported, not analyzed).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Shrinks the sample count (accepted for API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one parameterized benchmark in this group.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Runs one unparameterized benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, &mut f);
+        self
+    }
+
+    /// Ends the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// A parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// Declared per-iteration workload, for throughput lines.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Iterations process this many abstract elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measured: Option<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let budget = measurement_budget();
+        // Calibrate: find an iteration count that takes a visible slice.
+        let once = time_batch(&mut routine, 1);
+        let per_batch = if once.is_zero() {
+            1024
+        } else {
+            ((budget.as_nanos() / 8).max(1) / once.as_nanos().max(1)).clamp(1, 1 << 20) as u64
+        };
+        let mut samples = Vec::new();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < budget && samples.len() < 64 {
+            let d = time_batch(&mut routine, per_batch);
+            samples.push(d.as_nanos() as f64 / per_batch as f64);
+            total += d;
+            iters += per_batch;
+        }
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        self.measured = Some(Duration::from_nanos(median as u64));
+        self.iters = iters;
+    }
+}
+
+fn time_batch<R, F: FnMut() -> R>(routine: &mut F, n: u64) -> Duration {
+    let start = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(routine());
+    }
+    start.elapsed()
+}
+
+fn measurement_budget() -> Duration {
+    if std::env::var_os("CRITERION_QUICK").is_some() {
+        Duration::from_millis(20)
+    } else {
+        Duration::from_millis(300)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, f: &mut F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    match b.measured {
+        Some(d) => println!(
+            "{label:<40} {:>12.1} ns/iter ({} iters)",
+            d.as_nanos() as f64,
+            b.iters
+        ),
+        None => println!("{label:<40} (closure never called Bencher::iter)"),
+    }
+}
+
+/// Re-export matching `criterion::black_box` (the std implementation).
+pub use std::hint::black_box;
+
+/// Declares a group function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for one or more benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; this simple
+            // runner has no filtering, so flags are ignored.
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_measures() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grp");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("param", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

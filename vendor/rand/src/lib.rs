@@ -1,0 +1,195 @@
+//! Offline stand-in for the `rand` crate (0.9-style API surface).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the narrow subset of `rand` it actually uses: `StdRng` seeded
+//! via [`SeedableRng::seed_from_u64`], uniform [`Rng::random_range`] /
+//! [`Rng::random_bool`], and Fisher–Yates [`seq::SliceRandom::shuffle`].
+//!
+//! `StdRng` here is SplitMix64 feeding xoshiro256**. It is deterministic
+//! for a given seed (the property every caller in this workspace relies
+//! on) and statistically solid for simulation workloads, but it is *not*
+//! the cryptographically secure ChaCha generator of the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// A generator constructible from a `u64` seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (SplitMix64-expanded).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Uniform random-value generation.
+pub trait Rng {
+    /// Returns the next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open).
+    fn random_range<R: distr::SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        distr::unit_f64(self.next_u64()) < p
+    }
+}
+
+/// Range-sampling support types (`rand::distr` stand-in).
+pub mod distr {
+    use super::Rng;
+
+    /// Maps 64 random bits to a uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(bits: u64) -> f64 {
+        // 53 high bits give a uniformly spaced dyadic in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A range that can be sampled uniformly.
+    pub trait SampleRange {
+        /// The sampled value type.
+        type Output;
+        /// Draws one uniform sample.
+        fn sample<R: Rng>(self, rng: &mut R) -> Self::Output;
+    }
+
+    macro_rules! int_range {
+        ($($t:ty),*) => {$(
+            impl SampleRange for core::ops::Range<$t> {
+                type Output = $t;
+                fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u128;
+                    // Lemire-style widening multiply keeps bias negligible.
+                    let hi = ((rng.next_u64() as u128 * span) >> 64) as $t;
+                    self.start + hi
+                }
+            }
+        )*};
+    }
+    int_range!(u8, u16, u32, u64, usize);
+
+    impl SampleRange for core::ops::Range<f64> {
+        type Output = f64;
+        fn sample<R: Rng>(self, rng: &mut R) -> f64 {
+            self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+        }
+    }
+}
+
+/// Named generators (`rand::rngs` stand-in).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded via SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(mut state: u64) -> Self {
+            let s = [
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+                splitmix64(&mut state),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+/// Slice helpers (`rand::seq` stand-in).
+pub mod seq {
+    use super::Rng;
+
+    /// In-place random reordering of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.random_range(3..17u64);
+            assert!((3..17).contains(&x));
+            let f = rng.random_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bool_probability_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+}

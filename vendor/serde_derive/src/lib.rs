@@ -1,0 +1,163 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Supports exactly what this workspace derives on: non-generic structs
+//! with named fields. The macros parse the item at the token level (no
+//! `syn`/`quote`, which are unavailable offline), extract the field
+//! names, and emit `serde::Serialize` / `serde::Deserialize` impls that
+//! walk the `serde::Value` tree field by field.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of a `struct` item: its name and named-field list.
+struct StructShape {
+    name: String,
+    fields: Vec<String>,
+}
+
+/// Extracts the struct name and field names, panicking (compile error)
+/// on enums, tuple structs, or generics — unsupported by this stand-in.
+fn parse_struct(input: TokenStream) -> StructShape {
+    let mut tokens = input.into_iter().peekable();
+    let mut name = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Skip attributes (`#[...]`, including doc comments).
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                let _ = tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                // Skip a possible restriction like `pub(crate)`.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        let _ = tokens.next();
+                    }
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => match tokens.next() {
+                Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                other => panic!("expected struct name, found {other:?}"),
+            },
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("the vendored serde derive only supports structs with named fields");
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("the vendored serde derive does not support generic types");
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = name.expect("struct keyword must precede the body");
+                return StructShape {
+                    name,
+                    fields: parse_fields(g.stream()),
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("the vendored serde derive does not support tuple structs");
+            }
+            _ => {}
+        }
+    }
+    panic!("no struct body found");
+}
+
+/// Collects field names from the body of a braces group: per field, skip
+/// attributes and visibility, take the identifier before `:`, then skip
+/// type tokens up to the next comma outside angle brackets.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    let _ = tokens.next();
+                    let _ = tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    let _ = tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            let _ = tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("expected field name, found {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        // Skip the type: everything up to the next comma outside angle
+        // brackets (commas inside `(..)`/`[..]` are single Group tokens, but
+        // `HashMap<String, f64>` puts a comma at this token level). The `>`
+        // of a `->` return arrow must not count as a closing bracket.
+        let mut angle_depth = 0usize;
+        let mut prev = ' ';
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if prev != '-' => angle_depth = angle_depth.saturating_sub(1),
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                prev = p.as_char();
+            } else {
+                prev = ' ';
+            }
+        }
+    }
+    fields
+}
+
+/// Derives `serde::Serialize` for a named-field struct.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let pushes: String = shape
+        .fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n\
+         ::serde::Value::Object(::std::vec![{pushes}])\n\
+         }}\n}}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` for a named-field struct.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_struct(input);
+    let inits: String = shape
+        .fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::from_value(\
+                 v.get_field(\"{f}\")\
+                 .ok_or_else(|| ::serde::DeError::missing(\"{f}\"))?)?,"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+         }}\n}}",
+        name = shape.name,
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
