@@ -58,39 +58,92 @@ fn pick(rng: &mut StdRng, pool: &[String]) -> String {
     pool[rng.random_range(0..pool.len())].clone()
 }
 
-fn backend_workload(rng: &mut StdRng) -> Vec<String> {
-    let be = group_members(Group::BackendBound);
-    let others = group_members(Group::Others);
-    let n_be = if rng.random_bool(0.5) { 5 } else { 6 };
-    let mut apps: Vec<String> = (0..n_be).map(|_| pick(rng, &be)).collect();
-    while apps.len() < WORKLOAD_SIZE {
-        apps.push(pick(rng, &others));
-    }
+/// The paper's family recipes, generalized to any even workload size. The
+/// "intensive" families keep the paper's 5/8–6/8 dominant-group fraction
+/// (drawn with one coin flip, so the size-8 RNG stream is unchanged);
+/// `Mixed` splits the size evenly between the two bound groups.
+fn sized_workload(rng: &mut StdRng, kind: WorkloadKind, size: usize) -> Vec<String> {
+    assert!(
+        size >= 2 && size % 2 == 0,
+        "workload size must be even (SMT2 pairing), got {size}"
+    );
+    let mut apps: Vec<String> = match kind {
+        WorkloadKind::BackendIntensive | WorkloadKind::FrontendIntensive => {
+            let dominant = group_members(if kind == WorkloadKind::BackendIntensive {
+                Group::BackendBound
+            } else {
+                Group::FrontendBound
+            });
+            let others = group_members(Group::Others);
+            let n_dom = if rng.random_bool(0.5) {
+                size * 5 / 8
+            } else {
+                size * 6 / 8
+            };
+            let mut apps: Vec<String> = (0..n_dom).map(|_| pick(rng, &dominant)).collect();
+            while apps.len() < size {
+                apps.push(pick(rng, &others));
+            }
+            apps
+        }
+        WorkloadKind::Mixed => {
+            let be = group_members(Group::BackendBound);
+            let fe = group_members(Group::FrontendBound);
+            let mut apps: Vec<String> = (0..size / 2).map(|_| pick(rng, &be)).collect();
+            apps.extend((0..size / 2).map(|_| pick(rng, &fe)));
+            apps
+        }
+    };
     // Arrival order is random (the paper launches randomly built mixes; the
     // Linux baseline pairs by arrival, so order matters).
     apps.shuffle(rng);
     apps
 }
 
+fn backend_workload(rng: &mut StdRng) -> Vec<String> {
+    sized_workload(rng, WorkloadKind::BackendIntensive, WORKLOAD_SIZE)
+}
+
 fn frontend_workload(rng: &mut StdRng) -> Vec<String> {
-    let fe = group_members(Group::FrontendBound);
-    let others = group_members(Group::Others);
-    let n_fe = if rng.random_bool(0.5) { 5 } else { 6 };
-    let mut apps: Vec<String> = (0..n_fe).map(|_| pick(rng, &fe)).collect();
-    while apps.len() < WORKLOAD_SIZE {
-        apps.push(pick(rng, &others));
-    }
-    apps.shuffle(rng);
-    apps
+    sized_workload(rng, WorkloadKind::FrontendIntensive, WORKLOAD_SIZE)
 }
 
 fn mixed_workload(rng: &mut StdRng) -> Vec<String> {
-    let be = group_members(Group::BackendBound);
-    let fe = group_members(Group::FrontendBound);
-    let mut apps: Vec<String> = (0..WORKLOAD_SIZE / 2).map(|_| pick(rng, &be)).collect();
-    apps.extend((0..WORKLOAD_SIZE / 2).map(|_| pick(rng, &fe)));
-    apps.shuffle(rng);
-    apps
+    sized_workload(rng, WorkloadKind::Mixed, WORKLOAD_SIZE)
+}
+
+/// Composes one randomized workload of `size` applications (must be even)
+/// from the profiled app pool, following `kind`'s family recipe.
+/// Deterministic per `(kind, size, seed)`.
+pub fn random_workload(name: &str, kind: WorkloadKind, size: usize, seed: u64) -> Workload {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Workload {
+        name: name.to_string(),
+        kind,
+        apps: sized_workload(&mut rng, kind, size),
+    }
+}
+
+/// A randomized full-chip suite: `count` workloads of `size` applications
+/// each (`fc0`, `fc1`, ...), cycling mixed → backend → frontend so every
+/// family exercises the dense synergy graph. With `size = 56` this is the
+/// 28-core ThunderX2 regime the paper targets.
+pub fn full_chip_suite(count: usize, size: usize, seed: u64) -> Vec<Workload> {
+    let kinds = [
+        WorkloadKind::Mixed,
+        WorkloadKind::BackendIntensive,
+        WorkloadKind::FrontendIntensive,
+    ];
+    (0..count)
+        .map(|i| {
+            random_workload(
+                &format!("fc{i}"),
+                kinds[i % kinds.len()],
+                size,
+                seed.wrapping_add(i as u64),
+            )
+        })
+        .collect()
 }
 
 fn owned(names: &[&str]) -> Vec<String> {
@@ -256,6 +309,64 @@ mod tests {
             assert_eq!(n_be, 4, "{}", w.name);
             assert_eq!(n_fe, 4, "{}", w.name);
         }
+    }
+
+    #[test]
+    fn random_workload_is_sized_and_deterministic() {
+        for size in [8, 16, 28, 56] {
+            let a = random_workload("w", WorkloadKind::Mixed, size, 42);
+            let b = random_workload("w", WorkloadKind::Mixed, size, 42);
+            assert_eq!(a, b, "same seed, same workload");
+            assert_eq!(a.apps.len(), size);
+            for app in &a.apps {
+                assert!(expected_group(app).is_some(), "unknown app {app}");
+            }
+            let c = random_workload("w", WorkloadKind::Mixed, size, 43);
+            assert_ne!(a.apps, c.apps, "different seed, different mix");
+        }
+    }
+
+    #[test]
+    fn full_chip_suite_covers_all_families_at_56() {
+        let suite = full_chip_suite(6, 56, 0xF0C1);
+        assert_eq!(suite.len(), 6);
+        for (i, w) in suite.iter().enumerate() {
+            assert_eq!(w.name, format!("fc{i}"));
+            assert_eq!(w.apps.len(), 56);
+        }
+        let kinds: std::collections::HashSet<_> = suite.iter().map(|w| w.kind).collect();
+        assert_eq!(kinds.len(), 3, "all three families appear");
+        // Family recipes hold at 56 apps too.
+        for w in &suite {
+            let count = |g: Group| {
+                w.apps
+                    .iter()
+                    .filter(|a| expected_group(a) == Some(g))
+                    .count()
+            };
+            match w.kind {
+                WorkloadKind::Mixed => {
+                    assert_eq!(count(Group::BackendBound), 28, "{}", w.name);
+                    assert_eq!(count(Group::FrontendBound), 28, "{}", w.name);
+                }
+                WorkloadKind::BackendIntensive => {
+                    let n = count(Group::BackendBound);
+                    assert!((35..=42).contains(&n), "{}: {n} backend apps", w.name);
+                    assert_eq!(count(Group::FrontendBound), 0, "{}", w.name);
+                }
+                WorkloadKind::FrontendIntensive => {
+                    let n = count(Group::FrontendBound);
+                    assert!((35..=42).contains(&n), "{}: {n} frontend apps", w.name);
+                    assert_eq!(count(Group::BackendBound), 0, "{}", w.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_workload_size_panics() {
+        random_workload("w", WorkloadKind::Mixed, 7, 1);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Full-chip scenario: 56-application workloads on the 28-core ThunderX2.
+//!
+//! The paper's evaluation machine is a 28-core / 56-thread ThunderX2, but
+//! its published sweep stops at 8-app workloads on 4 cores. This binary
+//! runs the full machine: randomized 56-app workloads (`apps::workload::
+//! full_chip_suite`) on `ChipConfig::thunderx2_full()`, with SYNPA pairing
+//! all 56 threads per quantum — dense 56-node synergy graphs through the
+//! Blossom matcher. Cells are sharded and cached like the standard sweep.
+//!
+//! ```text
+//! cargo run --release -p synpa-experiments --bin full_chip
+//! cargo run --release -p synpa-experiments --bin full_chip -- --smoke
+//! cargo run --release -p synpa-experiments --bin full_chip -- --workloads 6 --reps 5
+//! ```
+//!
+//! `--smoke` is the CI configuration: one workload, one repetition, a short
+//! quantum and a canned model (no training), so the 56-thread path is
+//! exercised end-to-end on every PR in well under a minute.
+
+use std::time::Instant;
+use synpa::metrics::{antt, fairness, stp, tt_speedup, workload_ipc};
+use synpa::prelude::*;
+use synpa_experiments::{
+    canned_model, cells_of, results_dir, run_suite_sharded, threads, trained_model, SuitePolicy,
+    SuiteSpec,
+};
+
+fn usage() -> ! {
+    eprintln!("usage: full_chip [--smoke] [--workloads N] [--reps N]");
+    std::process::exit(2)
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut smoke = false;
+    let mut n_workloads: Option<usize> = None;
+    let mut reps: Option<u32> = None;
+    let mut it = raw.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--workloads" => {
+                n_workloads = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .filter(|&n| n >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            "--reps" => {
+                reps = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<u32>().ok())
+                        .filter(|&r| r >= 1)
+                        .unwrap_or_else(|| usage()),
+                )
+            }
+            _ => usage(),
+        }
+    }
+    let n_workloads = n_workloads.unwrap_or(if smoke { 1 } else { 3 });
+    let reps = reps.unwrap_or(if smoke { 1 } else { 3 });
+
+    let chip = ChipConfig::thunderx2_full();
+    let size = chip.hw_threads();
+    let config = ExperimentConfig {
+        manager: ManagerConfig {
+            chip,
+            quantum_cycles: if smoke { 5_000 } else { 10_000 },
+            max_quanta: 3_000,
+        },
+        target_window: if smoke { 20_000 } else { 120_000 },
+        calibration_warmup: if smoke { 10_000 } else { 40_000 },
+        reps,
+        ..Default::default()
+    };
+    let workloads = synpa::apps::workload::full_chip_suite(n_workloads, size, 0xF0C1);
+    // Smoke runs use the canned model so CI never pays for training.
+    let model = if smoke {
+        canned_model()
+    } else {
+        trained_model().0
+    };
+    let cells_dir = results_dir().join("full_chip_cells");
+    let spec = SuiteSpec {
+        workloads: workloads.clone(),
+        policies: vec![SuitePolicy::Linux, SuitePolicy::Synpa],
+        config,
+        cache_dir: Some(cells_dir),
+    };
+
+    println!(
+        "full chip: {} workloads x {} apps on 28 cores / 56 threads, {} reps, {} workers{}",
+        n_workloads,
+        size,
+        reps,
+        threads(),
+        if smoke { " (smoke)" } else { "" }
+    );
+    let t0 = Instant::now();
+    let cells = run_suite_sharded(&spec, model, threads());
+    let wall = t0.elapsed();
+
+    println!(
+        "\n{:<6} {:<8} {:>14} {:>14} {:>8} {:>9} {:>7} {:>7} {:>11}",
+        "wl", "kind", "TT linux", "TT synpa", "speedup", "fairness", "ANTT", "STP", "migrations"
+    );
+    for w in &workloads {
+        let (linux, synpa) = cells_of(&cells, &w.name);
+        println!(
+            "{:<6} {:<8} {:>14.0} {:>14.0} {:>8.3} {:>9.3} {:>7.3} {:>7.2} {:>11}",
+            w.name,
+            w.kind,
+            linux.tt_mean,
+            synpa.tt_mean,
+            tt_speedup(linux.tt_mean, synpa.tt_mean),
+            fairness(&synpa.app_speedup),
+            antt(&synpa.app_speedup),
+            stp(&synpa.app_speedup),
+            synpa.migrations,
+        );
+        println!(
+            "{:<6} {:<8} linux fairness {:.3}, IPC geomean linux {:.3} vs synpa {:.3}",
+            "",
+            "",
+            fairness(&linux.app_speedup),
+            workload_ipc(&linux.app_ipc),
+            workload_ipc(&synpa.app_ipc),
+        );
+    }
+    println!("\nwall time: {:.1}s", wall.as_secs_f64());
+}

@@ -11,8 +11,7 @@
 use synpa::metrics::{fairness, workload_ipc};
 use synpa::model::training::{st_profile, TrainingConfig};
 use synpa::prelude::*;
-use synpa::sched::GreedySynpa;
-use synpa_experiments::{eval_config, trained_model};
+use synpa_experiments::{eval_config, trained_model, SuitePolicy};
 
 fn usage() -> ! {
     eprintln!("usage: run_workload <workload> <linux|synpa|greedy|random|oracle> [--reps N]");
@@ -50,26 +49,25 @@ fn main() {
     let prepared = prepare_workload(&w, &cfg);
     let (model, _) = trained_model();
 
-    let cell = match policy_name {
-        "linux" => run_cell(&prepared, |_| Box::new(LinuxLike), &cfg),
-        "synpa" => run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg),
-        "greedy" => run_cell(&prepared, |_| Box::new(GreedySynpa::new(model)), &cfg),
-        "random" => run_cell(&prepared, |s| Box::new(RandomPairing::new(s)), &cfg),
-        "oracle" => {
-            let tcfg = TrainingConfig::default();
-            let st: Vec<(usize, Categories)> = prepared
-                .apps
-                .iter()
-                .enumerate()
-                .map(|(k, app)| (k, st_profile(app, &tcfg).mean()))
-                .collect();
-            run_cell(
-                &prepared,
-                move |_| Box::new(OracleSynpa::new(model, st.clone())),
-                &cfg,
-            )
-        }
-        _ => usage(),
+    // `oracle` needs per-app isolated profiles, which `SuitePolicy` cannot
+    // express; every other policy goes through the shared suite selector.
+    let cell = if policy_name == "oracle" {
+        let tcfg = TrainingConfig::default();
+        let st: Vec<(usize, Categories)> = prepared
+            .apps
+            .iter()
+            .enumerate()
+            .map(|(k, app)| (k, st_profile(app, &tcfg).mean()))
+            .collect();
+        run_cell(
+            &prepared,
+            move |_| Box::new(OracleSynpa::new(model, st.clone())),
+            &cfg,
+        )
+    } else if let Some(p) = SuitePolicy::parse(policy_name) {
+        run_cell(&prepared, |seed| p.build(model, seed), &cfg)
+    } else {
+        usage()
     };
 
     println!(

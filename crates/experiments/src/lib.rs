@@ -5,25 +5,37 @@
 //!
 //! * the canonical train/holdout application split (§IV-C's 80 %),
 //! * a disk-cached trained model so binaries don't retrain redundantly,
-//! * a disk-cached 20-workload × {linux, synpa} evaluation sweep shared by
-//!   Figs. 5, 8 and 9,
+//! * the sharded, per-cell-cached 20-workload × {linux, synpa} evaluation
+//!   sweep shared by Figs. 5, 8 and 9 (see [`suite`]),
 //! * small table-formatting helpers.
 //!
 //! All caches live under `results/`; delete the directory (or run with
-//! `SYNPA_FRESH=1`) to recompute everything from scratch.
+//! `SYNPA_FRESH=1`) to recompute everything from scratch. Worker-thread
+//! count is taken from the machine, overridable with `SYNPA_THREADS`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod suite;
+
 use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
+pub use suite::{
+    canned_model, cell_key, config_hash, load_cell, run_suite_sequential, run_suite_sharded,
+    store_cell, write_atomic, SuiteCell, SuitePolicy, SuiteSpec,
+};
 use synpa::model::CategoryCoeffs;
 use synpa::prelude::*;
 
-/// Directory where experiment outputs and caches are written.
+/// Directory where experiment outputs and caches are written. On first
+/// call per process it also collects temp files a killed run left
+/// unpublished at the root (cell cache directories are swept by the
+/// sharded orchestrator itself).
 pub fn results_dir() -> PathBuf {
+    static SWEEP_ONCE: std::sync::Once = std::sync::Once::new();
     let dir = PathBuf::from("results");
     std::fs::create_dir_all(&dir).expect("create results dir");
+    SWEEP_ONCE.call_once(|| suite::sweep_stale_tmp(&dir));
     dir
 }
 
@@ -77,7 +89,7 @@ pub fn trained_model() -> (SynpaModel, [f64; 3]) {
         ],
         mse: report.mse,
     };
-    std::fs::write(&path, serde_json::to_string_pretty(&disk).unwrap()).expect("write model");
+    write_atomic(&path, &serde_json::to_string_pretty(&disk).unwrap());
     (m, report.mse)
 }
 
@@ -108,7 +120,16 @@ fn load_model(path: &Path) -> Option<(SynpaModel, [f64; 3])> {
 }
 
 /// Worker threads for parallel runs.
+///
+/// `SYNPA_THREADS` overrides the machine's parallelism (clamped to ≥ 1) so
+/// CI and tests can pin the worker count; unset or unparseable values fall
+/// back to `available_parallelism`.
 pub fn threads() -> usize {
+    if let Ok(v) = std::env::var("SYNPA_THREADS") {
+        if let Ok(n) = v.trim().parse::<u64>() {
+            return n.max(1) as usize;
+        }
+    }
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(8)
@@ -116,77 +137,40 @@ pub fn threads() -> usize {
 
 /// The experiment configuration used by every evaluation binary
 /// (9 repetitions, CV < 5 % outlier rule — the §V-B methodology).
+/// Worker threads come from [`threads`], so `SYNPA_THREADS` pins direct
+/// `run_cell`/`prepare_workload` consumers too, not just the sharded
+/// orchestrator.
 pub fn eval_config() -> ExperimentConfig {
     ExperimentConfig {
         reps: 9,
+        threads: threads(),
         ..Default::default()
     }
 }
 
-/// One workload×policy cell of the evaluation sweep, in serializable form.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-pub struct SuiteCell {
-    /// Workload name (`be0`..`fb9`).
-    pub workload: String,
-    /// Workload family (`backend`/`frontend`/`mixed`).
-    pub kind: String,
-    /// Policy name (`linux`/`synpa`).
-    pub policy: String,
-    /// Mean turnaround time over kept repetitions (cycles).
-    pub tt_mean: f64,
-    /// Coefficient of variation of the kept repetitions.
-    pub tt_cv: f64,
-    /// Repetitions discarded by the outlier rule.
-    pub discarded: usize,
-    /// Application names, arrival order.
-    pub app_names: Vec<String>,
-    /// Mean per-app IPC.
-    pub app_ipc: Vec<f64>,
-    /// Mean per-app individual speedup (vs. isolated execution).
-    pub app_speedup: Vec<f64>,
-    /// Migrations in the exemplar repetition.
-    pub migrations: u64,
-}
-
 /// Runs (or loads) the full 20-workload × {linux, synpa} sweep that backs
-/// Figs. 5, 8 and 9. Roughly two minutes cold on 16 cores.
+/// Figs. 5, 8 and 9.
+///
+/// Cells are sharded across [`threads`] workers and individually cached
+/// under `results/cells/`, keyed by (workload, policy, config-hash, seed) —
+/// so an interrupted or partially invalidated sweep only recomputes what is
+/// missing, and a methodology or model change invalidates exactly the
+/// affected cells. The sweep is always assembled from the cell cache
+/// (milliseconds when warm); `results/suite.json` is a write-only aggregate
+/// for external consumers, never trusted as a cache. `SYNPA_FRESH=1` drops
+/// the cell cache before running.
 pub fn evaluation_suite() -> Vec<SuiteCell> {
-    let path = results_dir().join("suite.json");
-    if !fresh_requested() {
-        if let Ok(text) = std::fs::read_to_string(&path) {
-            if let Ok(cells) = serde_json::from_str::<Vec<SuiteCell>>(&text) {
-                if !cells.is_empty() {
-                    return cells;
-                }
-            }
-        }
-    }
+    let cells_dir = results_dir().join("cells");
     let (model, _) = trained_model();
-    let cfg = eval_config();
-    let mut cells = Vec::new();
-    for w in workload::standard_suite() {
-        eprintln!("running {} ...", w.name);
-        let prepared = prepare_workload(&w, &cfg);
-        for policy in ["linux", "synpa"] {
-            let cell = match policy {
-                "linux" => run_cell(&prepared, |_| Box::new(LinuxLike), &cfg),
-                _ => run_cell(&prepared, |_| Box::new(Synpa::new(model)), &cfg),
-            };
-            cells.push(SuiteCell {
-                workload: w.name.clone(),
-                kind: w.kind.to_string(),
-                policy: policy.to_string(),
-                tt_mean: cell.tt_mean,
-                tt_cv: cell.tt_cv,
-                discarded: cell.discarded,
-                app_names: cell.app_names.clone(),
-                app_ipc: cell.app_ipc.clone(),
-                app_speedup: cell.app_speedup.clone(),
-                migrations: cell.exemplar.migrations,
-            });
-        }
-    }
-    std::fs::write(&path, serde_json::to_string_pretty(&cells).unwrap()).expect("write suite");
+    let spec = SuiteSpec {
+        workloads: workload::standard_suite(),
+        policies: vec![SuitePolicy::Linux, SuitePolicy::Synpa],
+        config: eval_config(),
+        cache_dir: Some(cells_dir),
+    };
+    let cells = run_suite_sharded(&spec, model, threads());
+    let path = results_dir().join("suite.json");
+    write_atomic(&path, &serde_json::to_string_pretty(&cells).unwrap());
     cells
 }
 

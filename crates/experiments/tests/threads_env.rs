@@ -1,0 +1,29 @@
+//! `experiments::threads()` honors the `SYNPA_THREADS` override (clamped
+//! to ≥ 1) so CI and tests can pin parallelism.
+//!
+//! One test function on purpose: environment variables are process-global
+//! and the test harness runs functions concurrently.
+
+use synpa_experiments::threads;
+
+#[test]
+fn synpa_threads_env_overrides_and_clamps() {
+    std::env::remove_var("SYNPA_THREADS");
+    let detected = threads();
+    assert!(detected >= 1, "fallback must be at least one worker");
+
+    std::env::set_var("SYNPA_THREADS", "7");
+    assert_eq!(threads(), 7, "override pins the worker count");
+
+    std::env::set_var("SYNPA_THREADS", " 3 ");
+    assert_eq!(threads(), 3, "surrounding whitespace is tolerated");
+
+    std::env::set_var("SYNPA_THREADS", "0");
+    assert_eq!(threads(), 1, "zero clamps to one");
+
+    std::env::set_var("SYNPA_THREADS", "not-a-number");
+    assert_eq!(threads(), detected, "garbage falls back to autodetection");
+
+    std::env::remove_var("SYNPA_THREADS");
+    assert_eq!(threads(), detected);
+}

@@ -1,0 +1,110 @@
+//! Blossom at full-chip scale: random dense synergy graphs with
+//! n ∈ {8, 16, 28, 56} vertices — the sizes of the 4-core evaluation chip,
+//! two intermediates, and the 28-core / 56-thread ThunderX2.
+//!
+//! Properties checked per graph:
+//!
+//! * the pairing is *perfect* (every vertex appears in exactly one pair),
+//! * its total cost is ≤ the greedy matcher's (equivalently, the matching
+//!   weight is ≥ greedy's — Blossom is optimal, greedy is not),
+//! * the result is deterministic per seed.
+
+// (u, v) index form mirrors the cost/weight matrices throughout.
+#![allow(clippy::needless_range_loop)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use synpa_matching::{greedy_min_pairing, max_weight_matching, min_cost_pairing, Pairing};
+
+/// Dense symmetric cost matrix with entries in (0, 1]; every pair is a
+/// candidate, as in SYNPA's predicted-slowdown graphs.
+fn random_costs(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut c = vec![vec![0.0f64; n]; n];
+    for u in 0..n {
+        for v in u + 1..n {
+            let w = rng.random_range(0.001f64..1.0);
+            c[u][v] = w;
+            c[v][u] = w;
+        }
+    }
+    c
+}
+
+fn assert_perfect(p: &Pairing, n: usize) {
+    let mut seen: Vec<usize> = p.pairs.iter().flat_map(|&(a, b)| [a, b]).collect();
+    seen.sort_unstable();
+    assert_eq!(seen, (0..n).collect::<Vec<_>>(), "pairing must be perfect");
+}
+
+#[test]
+fn blossom_is_perfect_optimal_and_deterministic_at_scale() {
+    for &n in &[8usize, 16, 28, 56] {
+        let seeds = if n == 56 { 0..3u64 } else { 0..6u64 };
+        for seed in seeds {
+            let costs = random_costs(n, 0xB10_5050 + seed * 131 + n as u64);
+            let blossom = min_cost_pairing(&costs);
+            assert_perfect(&blossom, n);
+
+            let greedy = greedy_min_pairing(&costs);
+            assert_perfect(&greedy, n);
+            assert!(
+                blossom.total_cost <= greedy.total_cost + 1e-9,
+                "n={n} seed={seed}: blossom {} must not lose to greedy {}",
+                blossom.total_cost,
+                greedy.total_cost
+            );
+
+            // Deterministic per seed: regenerating the same graph gives the
+            // identical pairing, not merely an equal-cost one.
+            let again = min_cost_pairing(&random_costs(n, 0xB10_5050 + seed * 131 + n as u64));
+            assert_eq!(blossom.pairs, again.pairs, "n={n} seed={seed}");
+            assert_eq!(blossom.total_cost, again.total_cost);
+        }
+    }
+}
+
+/// The same properties on the raw max-weight engine with integer weights:
+/// dense positive graphs always admit a perfect matching, and the optimal
+/// weight dominates a cheapest-first greedy construction.
+#[test]
+fn max_weight_engine_dominates_greedy_on_dense_integer_graphs() {
+    for &n in &[8usize, 16, 28, 56] {
+        for seed in 0..3u64 {
+            let mut rng = StdRng::seed_from_u64(0xED6E + seed * 977 + n as u64);
+            let mut w = vec![vec![0i64; n]; n];
+            let mut edges: Vec<(i64, usize, usize)> = Vec::new();
+            for u in 0..n {
+                for v in u + 1..n {
+                    let x = rng.random_range(1u64..10_000) as i64;
+                    w[u][v] = x;
+                    w[v][u] = x;
+                    edges.push((x, u, v));
+                }
+            }
+            let (total, mate) = max_weight_matching(&w);
+
+            // Perfect and an involution.
+            for (u, &m) in mate.iter().enumerate() {
+                let v = m.expect("dense positive graph has a perfect matching");
+                assert_eq!(mate[v], Some(u), "mate must be symmetric");
+            }
+
+            // Greedy heaviest-edge-first matching as the lower bound.
+            edges.sort_by_key(|e| std::cmp::Reverse(e.0));
+            let mut used = vec![false; n];
+            let mut greedy_total = 0i64;
+            for (x, u, v) in edges {
+                if !used[u] && !used[v] {
+                    used[u] = true;
+                    used[v] = true;
+                    greedy_total += x;
+                }
+            }
+            assert!(
+                total >= greedy_total,
+                "n={n} seed={seed}: optimal {total} < greedy {greedy_total}"
+            );
+        }
+    }
+}

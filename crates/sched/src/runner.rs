@@ -66,21 +66,35 @@ pub struct PreparedWorkload {
 /// Calibrates launch targets and solo IPC for every distinct app of
 /// `workload` (§V-B: "we executed each application in isolation for 60
 /// seconds and recorded its number of retired instructions").
+///
+/// Calibration runs are independent, so distinct apps are measured across
+/// `cfg.threads` workers — at full-chip scale (56-app workloads drawing on
+/// up to 28 distinct apps) calibration is a material share of a cold cell.
+/// The result is identical for any thread count.
 pub fn prepare_workload(workload: &Workload, cfg: &ExperimentConfig) -> PreparedWorkload {
-    let mut cache: HashMap<&str, (u64, f64)> = HashMap::new();
+    // Distinct names in first-appearance order (determinism: the order the
+    // measurements are assembled in never depends on worker scheduling).
+    let mut distinct: Vec<&str> = Vec::new();
+    for name in &workload.apps {
+        if !distinct.contains(&name.as_str()) {
+            distinct.push(name.as_str());
+        }
+    }
+    let measured = parallel_map(&distinct, cfg.threads, |name| {
+        let app = spec::by_name(name).unwrap_or_else(|| panic!("unknown app {name}"));
+        let run = characterize_isolated_with(
+            &app,
+            cfg.calibration_warmup,
+            cfg.target_window,
+            &cfg.manager.chip,
+        );
+        (run.retired.max(1), run.ipc)
+    });
+    let cache: HashMap<&str, (u64, f64)> = distinct.into_iter().zip(measured).collect();
     let mut apps = Vec::with_capacity(workload.apps.len());
     let mut solo_ipc = Vec::with_capacity(workload.apps.len());
     for name in &workload.apps {
-        let (target, ipc) = *cache.entry(name.as_str()).or_insert_with(|| {
-            let app = spec::by_name(name).unwrap_or_else(|| panic!("unknown app {name}"));
-            let run = characterize_isolated_with(
-                &app,
-                cfg.calibration_warmup,
-                cfg.target_window,
-                &cfg.manager.chip,
-            );
-            (run.retired.max(1), run.ipc)
-        });
+        let (target, ipc) = cache[name.as_str()];
         apps.push(spec::by_name(name).unwrap().with_length(target));
         solo_ipc.push(ipc);
     }
