@@ -1,13 +1,15 @@
 //! Simulator throughput: cycles simulated per second for a single thread,
-//! an SMT pair, and the full 4-core evaluation chip.
+//! an SMT pair, the full 4-core evaluation chip and the 28-core/56-thread
+//! full machine — plus a reference-vs-batched engine comparison on the
+//! 8-app chip so the event-horizon win is tracked in BASELINES.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use synpa::prelude::*;
-use synpa::sim::{PhaseParams, UniformProgram};
+use synpa::sim::{EngineKind, PhaseParams, UniformProgram};
 
-fn chip_with(n_apps: usize, cores: u32) -> Chip {
-    let mut chip = Chip::new(ChipConfig::thunderx2(cores));
+fn chip_with(n_apps: usize, cores: u32, engine: EngineKind) -> Chip {
+    let mut chip = Chip::new(ChipConfig::thunderx2(cores).with_engine(engine));
     for i in 0..n_apps {
         let params = PhaseParams {
             mem_ratio: 0.3,
@@ -25,22 +27,39 @@ fn chip_with(n_apps: usize, cores: u32) -> Chip {
     chip
 }
 
+const CYCLES: u64 = 10_000;
+
 fn sim_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
-    const CYCLES: u64 = 10_000;
     group.throughput(Throughput::Elements(CYCLES));
     for (label, apps, cores) in [
         ("1thread", 1usize, 1u32),
         ("smt_pair", 2, 1),
         ("chip_8apps", 8, 4),
+        ("chip_56apps", 56, 28),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
-            let mut chip = chip_with(apps, cores);
+            let mut chip = chip_with(apps, cores, EngineKind::Batched);
             b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, sim_throughput);
+fn engine_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.throughput(Throughput::Elements(CYCLES));
+    for (label, engine) in [
+        ("reference", EngineKind::Reference),
+        ("batched", EngineKind::Batched),
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
+            let mut chip = chip_with(8, 4, engine);
+            b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, sim_throughput, engine_comparison);
 criterion_main!(benches);

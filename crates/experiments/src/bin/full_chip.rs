@@ -26,7 +26,7 @@ use synpa_experiments::{
 };
 
 fn usage() -> ! {
-    eprintln!("usage: full_chip [--smoke] [--workloads N] [--reps N]");
+    eprintln!("usage: full_chip [--smoke] [--workloads N] [--reps N] [--engine reference|batched]");
     std::process::exit(2)
 }
 
@@ -35,10 +35,20 @@ fn main() {
     let mut smoke = false;
     let mut n_workloads: Option<usize> = None;
     let mut reps: Option<u32> = None;
+    let mut engine = EngineKind::Batched;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            // Engines are bit-identical (same cells, same cache keys);
+            // `--engine reference` exists to time the retained oracle path.
+            "--engine" => {
+                engine = match it.next().map(String::as_str) {
+                    Some("reference") => EngineKind::Reference,
+                    Some("batched") => EngineKind::Batched,
+                    _ => usage(),
+                }
+            }
             "--workloads" => {
                 n_workloads = Some(
                     it.next()
@@ -61,7 +71,7 @@ fn main() {
     let n_workloads = n_workloads.unwrap_or(if smoke { 1 } else { 3 });
     let reps = reps.unwrap_or(if smoke { 1 } else { 3 });
 
-    let chip = ChipConfig::thunderx2_full();
+    let chip = ChipConfig::thunderx2_full().with_engine(engine);
     let size = chip.hw_threads();
     let config = ExperimentConfig {
         manager: ManagerConfig {

@@ -169,16 +169,20 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// Hash of everything in an [`ExperimentConfig`] that can change a cell's
 /// *result*: the whole config's `Debug` rendering, with the non-semantic
 /// fields neutralized first — `threads` (parallelism never affects
-/// output) and `base_seed` (a separate component of the cell key).
-/// `chip.seed` stays in the hash: the per-repetition measurement runs
-/// override it, but calibration (`prepare_workload`) consumes it as-is,
-/// so launch targets and solo IPC depend on it. Hashing the full struct
-/// means any field added to `ExperimentConfig`/`ManagerConfig` later
-/// invalidates caches automatically instead of being silently excluded.
+/// output), `base_seed` (a separate component of the cell key) and
+/// `chip.engine` (the reference and batched engines are bit-identical on
+/// every counter, enforced by the `engine_equivalence` differential wall,
+/// so cells stay warm across engine choice). `chip.seed` stays in the
+/// hash: the per-repetition measurement runs override it, but calibration
+/// (`prepare_workload`) consumes it as-is, so launch targets and solo IPC
+/// depend on it. Hashing the full struct means any field added to
+/// `ExperimentConfig`/`ManagerConfig` later invalidates caches
+/// automatically instead of being silently excluded.
 pub fn config_hash(cfg: &ExperimentConfig) -> u64 {
     let mut canon = cfg.clone();
     canon.threads = 0;
     canon.base_seed = 0;
+    canon.manager.chip.engine = EngineKind::Batched;
     fnv1a(FNV_OFFSET, format!("{canon:?}").as_bytes())
 }
 
@@ -442,6 +446,16 @@ mod tests {
         let mut c = cfg();
         c.manager.chip.seed = 0xDEAD;
         assert_ne!(config_hash(&a), config_hash(&c));
+    }
+
+    #[test]
+    fn config_hash_ignores_engine_choice() {
+        // The engines are bit-identical (differential wall), so switching
+        // one must not invalidate — or fork — the cell cache.
+        let a = cfg();
+        let mut b = cfg();
+        b.manager.chip.engine = EngineKind::Reference;
+        assert_eq!(config_hash(&a), config_hash(&b));
     }
 
     #[test]

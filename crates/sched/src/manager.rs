@@ -144,7 +144,9 @@ pub fn run_workload(
     let mut quantum = 0u64;
 
     while quantum < cfg.max_quanta && tt.iter().any(|t| t.is_none()) {
-        let events = chip.run_cycles(cfg.quantum_cycles);
+        // Absolute quantum boundaries: the engine (reference or batched,
+        // per `cfg.chip.engine`) advances to exactly this cycle.
+        let events = chip.run_until((quantum + 1) * cfg.quantum_cycles);
         for ev in events {
             if ev.launch == 0 && tt[ev.app_id].is_none() {
                 tt[ev.app_id] = Some(ev.cycle);

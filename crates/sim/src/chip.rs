@@ -1,9 +1,12 @@
 //! The full chip: cores, shared LLC, memory, and the thread-placement API
 //! that stands in for `sched_setaffinity` on the real machine.
 
+use std::collections::HashMap;
+
 use crate::cache::Cache;
 use crate::config::ChipConfig;
 use crate::core::Core;
+use crate::engine::{self, EngineKind};
 use crate::mem::Memory;
 use crate::pmu::PmuCounters;
 use crate::program::ThreadProgram;
@@ -27,12 +30,16 @@ impl Slot {
 
 /// The simulated processor.
 pub struct Chip {
-    cfg: ChipConfig,
-    cores: Vec<Core>,
-    llc: Cache,
-    mem: Memory,
-    cycle: u64,
-    events: Vec<Completion>,
+    pub(crate) cfg: ChipConfig,
+    pub(crate) cores: Vec<Core>,
+    pub(crate) llc: Cache,
+    pub(crate) mem: Memory,
+    pub(crate) cycle: u64,
+    pub(crate) events: Vec<Completion>,
+    /// `app_id → Slot` index kept in sync by `attach`/`detach`/
+    /// `set_placement`, so the per-quantum scheduler lookups (`slot_of`,
+    /// `pmu_of`, `placement`) are O(1)/O(apps) instead of O(cores × smt).
+    slot_index: HashMap<usize, Slot>,
 }
 
 impl Chip {
@@ -48,6 +55,7 @@ impl Chip {
             cfg,
             cycle: 0,
             events: Vec::new(),
+            slot_index: HashMap::new(),
         }
     }
 
@@ -70,8 +78,14 @@ impl Chip {
         self.cores.len() * self.smt()
     }
 
-    /// Places a new application on `slot`. Panics if the slot is occupied.
+    /// Places a new application on `slot`. Panics if the slot is occupied
+    /// or `app_id` is already placed somewhere on the chip (app ids key the
+    /// placement index and must be unique per chip).
     pub fn attach(&mut self, slot: Slot, app_id: usize, program: Box<dyn ThreadProgram>) {
+        assert!(
+            !self.slot_index.contains_key(&app_id),
+            "app {app_id} already placed"
+        );
         let smt = self.smt();
         let ctx = &mut self.cores[slot.core(smt)].ctx[slot.ctx(smt)];
         assert!(ctx.is_none(), "slot {slot:?} already occupied");
@@ -81,38 +95,30 @@ impl Chip {
             self.cfg.seed ^ (app_id as u64) << 17,
             self.cfg.l1d.line_bytes as u64,
         ));
+        self.slot_index.insert(app_id, slot);
     }
 
     /// Removes the thread on `slot`, returning it (if any).
     pub fn detach(&mut self, slot: Slot) -> Option<HwThread> {
         let smt = self.smt();
-        self.cores[slot.core(smt)].ctx[slot.ctx(smt)].take()
+        let taken = self.cores[slot.core(smt)].ctx[slot.ctx(smt)].take();
+        if let Some(t) = taken.as_ref() {
+            self.slot_index.remove(&t.app_id());
+        }
+        taken
     }
 
-    /// Slot currently hosting `app_id`, if placed.
+    /// Slot currently hosting `app_id`, if placed. O(1) via the placement
+    /// index.
     pub fn slot_of(&self, app_id: usize) -> Option<Slot> {
-        let smt = self.smt();
-        for (c, core) in self.cores.iter().enumerate() {
-            for (x, t) in core.ctx.iter().enumerate() {
-                if t.as_ref().is_some_and(|t| t.app_id() == app_id) {
-                    return Some(Slot(c * smt + x));
-                }
-            }
-        }
-        None
+        self.slot_index.get(&app_id).copied()
     }
 
-    /// Applications currently placed, as `(app_id, slot)` pairs.
+    /// Applications currently placed, as `(app_id, slot)` pairs in slot
+    /// order.
     pub fn placement(&self) -> Vec<(usize, Slot)> {
-        let smt = self.smt();
-        let mut out = Vec::new();
-        for (c, core) in self.cores.iter().enumerate() {
-            for (x, t) in core.ctx.iter().enumerate() {
-                if let Some(t) = t.as_ref() {
-                    out.push((t.app_id(), Slot(c * smt + x)));
-                }
-            }
-        }
+        let mut out: Vec<(usize, Slot)> = self.slot_index.iter().map(|(&a, &s)| (a, s)).collect();
+        out.sort_by_key(|&(_, s)| s);
         out
     }
 
@@ -145,32 +151,32 @@ impl Chip {
             if dst.core(smt) != old_core {
                 t.apply_migration(self.cycle, self.cfg.migration_penalty);
             }
+            let app_id = t.app_id();
             let ctx = &mut self.cores[dst.core(smt)].ctx[dst.ctx(smt)];
             assert!(
                 ctx.is_none(),
                 "target slot {dst:?} occupied by unlisted app"
             );
             *ctx = Some(t);
+            self.slot_index.insert(app_id, dst);
         }
     }
 
     /// Runs `n` cycles; returns launch-completion events that occurred.
     pub fn run_cycles(&mut self, n: u64) -> Vec<Completion> {
-        let end = self.cycle + n;
-        while self.cycle < end {
-            self.mem.tick(self.cycle);
-            for core in &mut self.cores {
-                core.step(
-                    self.cycle,
-                    &self.cfg,
-                    &mut self.llc,
-                    &mut self.mem,
-                    &mut self.events,
-                );
-            }
-            self.cycle += 1;
+        self.run_until(self.cycle + n)
+    }
+
+    /// Advances simulated time up to and not beyond cycle `target` (no-op
+    /// if already there), returning launch-completion events that occurred.
+    /// The quantum manager drives this with absolute quantum boundaries;
+    /// which engine advances time is selected by [`ChipConfig::engine`] —
+    /// the two are bit-identical on every observable (see `crate::engine`).
+    pub fn run_until(&mut self, target: u64) -> Vec<Completion> {
+        match self.cfg.engine {
+            EngineKind::Reference => engine::run_reference(self, target),
+            EngineKind::Batched => engine::run_batched(self, target),
         }
-        std::mem::take(&mut self.events)
     }
 
     /// PMU counters of the thread running `app_id`.

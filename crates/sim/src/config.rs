@@ -6,6 +6,8 @@
 //! reported quantities are ratios of cycle counts, so uniform time scaling
 //! preserves the shape of every result (see DESIGN.md §5).
 
+use crate::engine::EngineKind;
+
 /// Geometry of one cache level.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -97,6 +99,11 @@ pub struct ChipConfig {
     pub cache_sample: u32,
     /// Base RNG seed; each hardware thread derives its own stream from it.
     pub seed: u64,
+    /// Cycle-advancement engine used by `Chip::run_cycles`/`run_until`.
+    /// Both engines are bit-identical on every counter (enforced by the
+    /// `engine_equivalence` differential wall); this is a pure performance
+    /// knob and deliberately *not* part of the experiment cache key.
+    pub engine: EngineKind,
 }
 
 impl ChipConfig {
@@ -164,6 +171,7 @@ impl ChipConfig {
             migration_penalty: 200,
             cache_sample: 1,
             seed: 0x5EED_CAFE,
+            engine: EngineKind::Batched,
         }
     }
 
@@ -200,6 +208,12 @@ impl ChipConfig {
     /// Returns a copy with a different seed (used for experiment repetitions).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Returns a copy driven by a different cycle-advancement engine.
+    pub fn with_engine(mut self, engine: EngineKind) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -279,5 +293,14 @@ mod tests {
         let b = a.clone().with_seed(99);
         assert_eq!(a.cores, b.cores);
         assert_ne!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn with_engine_selects_engine() {
+        let a = ChipConfig::thunderx2(4);
+        assert_eq!(a.engine, EngineKind::Batched, "batched is the default");
+        let b = a.clone().with_engine(EngineKind::Reference);
+        assert_eq!(b.engine, EngineKind::Reference);
+        assert_eq!(a.seed, b.seed);
     }
 }

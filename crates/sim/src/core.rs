@@ -33,6 +33,37 @@ pub struct Core {
     pub(crate) l2: Cache,
     pub(crate) ctx: Vec<Option<HwThread>>,
     fetch_rr: usize,
+    /// Reusable ICOUNT-order scratch so the dispatch stage allocates
+    /// nothing on the per-cycle hot path.
+    dispatch_order: Vec<usize>,
+}
+
+/// ROB entries a thread may still claim this cycle: the shared array's
+/// remaining space, clamped by the thread's hog cap.
+pub(crate) fn rob_space(
+    core: &crate::config::CoreConfig,
+    total_rob: u32,
+    rob_cap: u32,
+    t: &HwThread,
+) -> u32 {
+    core.rob_size
+        .saturating_sub(total_rob)
+        .min(rob_cap.saturating_sub(t.rob_occ))
+}
+
+/// Shared-window occupancy caps (ROB, LQ, SQ) for `active` busy contexts:
+/// the hog cap applies only while more than one context competes.
+pub(crate) fn shared_caps(core: &crate::config::CoreConfig, active: u32) -> (u32, u32, u32) {
+    if active > 1 {
+        let f = core.smt_window_cap.clamp(1.0 / active as f64, 1.0);
+        (
+            (core.rob_size as f64 * f) as u32,
+            (core.load_queue as f64 * f) as u32,
+            (core.store_queue as f64 * f) as u32,
+        )
+    } else {
+        (core.rob_size, core.load_queue, core.store_queue)
+    }
 }
 
 impl Core {
@@ -45,6 +76,7 @@ impl Core {
             l2: Cache::new(cfg.l2),
             ctx: (0..cfg.core.smt_ways).map(|_| None).collect(),
             fetch_rr: 0,
+            dispatch_order: Vec::new(),
         }
     }
 
@@ -55,6 +87,13 @@ impl Core {
 
     /// Executes one cycle. Completions (launch finishes) are appended to
     /// `events`.
+    ///
+    /// Returns `true` when anything observable happened — a fetch was
+    /// issued, µops dispatched or retired, or a completion reported. A
+    /// `false` cycle is *inert*: the only state it changed is closed-form
+    /// advanceable (stall counters, EWMA decay, timing wheels), which is
+    /// what lets the batched engine jump over stretches of them (see
+    /// `crate::engine`).
     pub fn step(
         &mut self,
         now: u64,
@@ -62,15 +101,49 @@ impl Core {
         llc: &mut Cache,
         mem: &mut Memory,
         events: &mut Vec<Completion>,
-    ) {
-        self.fetch_stage(now, cfg, llc, mem);
-        self.dispatch_stage(now, cfg, llc, mem);
-        self.retire_stage(now, cfg, events);
+    ) -> bool {
+        let fetched = self.fetch_stage(now, cfg, llc, mem);
+        let dispatched = self.dispatch_stage(now, cfg, llc, mem);
+        let retired = self.retire_stage(now, cfg, events);
+        fetched | dispatched | retired
+    }
+
+    /// Earliest future cycle at which any resident thread can act again,
+    /// assuming the cycle just executed was inert. `u64::MAX` for an empty
+    /// or permanently externally-blocked core.
+    pub(crate) fn wake_event(&self, core: &crate::config::CoreConfig) -> u64 {
+        self.ctx
+            .iter()
+            .flatten()
+            .map(|t| t.wake_event(core.fetch_width, core.fetch_queue))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+
+    /// Advances every resident thread across `n` inert cycles in closed
+    /// form, starting at cycle `now` (the first elided cycle). The caller
+    /// (the horizon engine) guarantees no thread on the chip can fetch,
+    /// dispatch, retire or complete anywhere in the window, so every input
+    /// to the stall classification is constant across it.
+    pub(crate) fn fast_forward(&mut self, n: u64, now: u64, cfg: &ChipConfig) {
+        let active = (self.occupancy() as u32).max(1);
+        let (rob_cap, lq_cap, sq_cap) = shared_caps(&cfg.core, active);
+        let total_rob: u32 = self.ctx.iter().flatten().map(|t| t.rob_occ).sum();
+        for t in self.ctx.iter_mut().flatten() {
+            let rob_space = rob_space(&cfg.core, total_rob, rob_cap, t);
+            t.fast_forward_stall(n, now, &cfg.core, lq_cap, sq_cap, rob_space);
+        }
     }
 
     // --- stage 1: fetch -------------------------------------------------
 
-    fn fetch_stage(&mut self, now: u64, cfg: &ChipConfig, llc: &mut Cache, mem: &mut Memory) {
+    fn fetch_stage(
+        &mut self,
+        now: u64,
+        cfg: &ChipConfig,
+        llc: &mut Cache,
+        mem: &mut Memory,
+    ) -> bool {
         let ways = self.ctx.len();
         // Clear expired fetch blocks.
         for slot in self.ctx.iter_mut().flatten() {
@@ -106,18 +179,29 @@ impl Core {
                 t.fetch_block_until = now + lat as u64;
             }
             self.fetch_rr = (i + 1) % ways;
-            break;
+            return true;
         }
+        false
     }
 
     // --- stage 2: dispatch ----------------------------------------------
 
-    fn dispatch_stage(&mut self, now: u64, cfg: &ChipConfig, llc: &mut Cache, mem: &mut Memory) {
+    fn dispatch_stage(
+        &mut self,
+        now: u64,
+        cfg: &ChipConfig,
+        llc: &mut Cache,
+        mem: &mut Memory,
+    ) -> bool {
         let ways = self.ctx.len();
+        let mut any_dispatch = false;
         // ICOUNT-style priority: the thread with the smaller in-flight
         // window dispatches first, which is what keeps SMT fair-ish on real
-        // hardware.
-        let mut order: Vec<usize> = (0..ways).filter(|&i| self.ctx[i].is_some()).collect();
+        // hardware. The order lives in a reusable scratch buffer so the
+        // per-cycle hot path never allocates.
+        let mut order = std::mem::take(&mut self.dispatch_order);
+        order.clear();
+        order.extend((0..ways).filter(|&i| self.ctx[i].is_some()));
         order.sort_by_key(|&i| {
             let t = self.ctx[i].as_ref().unwrap();
             (t.rob_occ, (i + now as usize) % ways)
@@ -133,16 +217,7 @@ impl Core {
         // co-runner is never starved, yet two memory-bound threads still
         // contend for the remaining shared entries (convex interference).
         let active = order.len().max(1) as u32;
-        let (rob_cap, lq_cap, sq_cap) = if active > 1 {
-            let f = cfg.core.smt_window_cap.clamp(1.0 / active as f64, 1.0);
-            (
-                (cfg.core.rob_size as f64 * f) as u32,
-                (cfg.core.load_queue as f64 * f) as u32,
-                (cfg.core.store_queue as f64 * f) as u32,
-            )
-        } else {
-            (cfg.core.rob_size, cfg.core.load_queue, cfg.core.store_queue)
-        };
+        let (rob_cap, lq_cap, sq_cap) = shared_caps(&cfg.core, active);
 
         for &i in &order {
             // The co-runner's DRAM bandwidth demand (fills/cycle, EWMA):
@@ -161,56 +236,22 @@ impl Core {
             t.tick_mshr(now);
             let mut dram_fills: u32 = 0;
 
-            // Frontend-empty check comes first: ARM's STALL_FRONTEND is
-            // "no operation in the queue".
-            if t.fetch_q == 0 {
-                t.pmu.stall_frontend += 1;
-                match t.fetch_block {
-                    FetchBlock::Redirect => t.pmu.ext.stall_branch += 1,
-                    _ => t.pmu.ext.stall_icache += 1,
-                }
-                t.update_dram_rate(0);
-                continue;
-            }
-
-            // Backend resource checks.
-            if width_left == 0 {
-                t.pmu.stall_backend += 1;
-                t.pmu.ext.stall_width += 1;
-                t.update_dram_rate(0);
-                continue;
-            }
-            if t.lq_occ >= lq_cap || t.sq_occ >= sq_cap {
-                t.pmu.stall_backend += 1;
-                t.pmu.ext.stall_lsq_full += 1;
-                t.update_dram_rate(0);
-                continue;
-            }
-            let rob_space = cfg
-                .core
-                .rob_size
-                .saturating_sub(total_rob)
-                .min(rob_cap.saturating_sub(t.rob_occ));
-            if rob_space == 0 {
-                t.pmu.stall_backend += 1;
-                let head_blocked_on_miss = t
-                    .rob
-                    .front()
-                    .map(|h| h.ready > now && h.misses > 0)
-                    .unwrap_or(false);
-                if head_blocked_on_miss {
-                    t.pmu.ext.stall_dcache += 1;
-                } else if t.rob_occ > cfg.core.iq_size {
-                    t.pmu.ext.stall_iq_full += 1;
-                } else {
-                    t.pmu.ext.stall_rob_full += 1;
-                }
+            // Zero-dispatch cycle? One shared classifier (also used by the
+            // batched engine's closed-form fast-forward, so the two can
+            // never drift apart) picks the Table I stall category and its
+            // extended attribution.
+            let rob_space = rob_space(&cfg.core, total_rob, rob_cap, t);
+            if let Some(kind) =
+                t.stall_kind(now, width_left, lq_cap, sq_cap, rob_space, cfg.core.iq_size)
+            {
+                t.apply_stall(kind, 1);
                 t.update_dram_rate(0);
                 continue;
             }
 
             let d = width_left.min(t.fetch_q).min(rob_space);
             debug_assert!(d > 0);
+            any_dispatch = true;
 
             // Memory portion of the dispatched group.
             let m = t.mem_dither.step(d as f64 * t.phase.mem_ratio).min(d);
@@ -319,17 +360,22 @@ impl Core {
                 t.fetch_block_until = now + cfg.core.redirect_penalty as u64;
             }
         }
+        self.dispatch_order = order;
+        any_dispatch
     }
 
     // --- stage 3: retire --------------------------------------------------
 
-    fn retire_stage(&mut self, now: u64, cfg: &ChipConfig, events: &mut Vec<Completion>) {
+    fn retire_stage(&mut self, now: u64, cfg: &ChipConfig, events: &mut Vec<Completion>) -> bool {
+        let mut any = false;
         for t in self.ctx.iter_mut().flatten() {
-            t.retire(now, cfg.core.retire_width);
+            any |= t.retire(now, cfg.core.retire_width) > 0;
             if let Some(ev) = t.check_completion(now) {
                 events.push(ev);
+                any = true;
             }
         }
+        any
     }
 }
 

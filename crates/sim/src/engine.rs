@@ -1,0 +1,107 @@
+//! Cycle-advancement engines for [`Chip`]: the retained cycle-by-cycle
+//! reference loop and the batched *event-horizon* engine.
+//!
+//! The horizon engine exploits a structural property of the pipeline model:
+//! in a cycle where **no** hardware thread fetches, dispatches, retires or
+//! reports a completion, the only state the reference loop mutates is
+//!
+//! * per-thread `CPU_CYCLES` plus exactly one stall counter pair (the
+//!   architectural `STALL_FRONTEND`/`STALL_BACKEND` and its extended
+//!   attribution), whose classification is constant while the thread stays
+//!   blocked for the same reason;
+//! * one zero-fill step of the per-thread DRAM-demand EWMA;
+//! * the timing wheels of the MSHRs and the memory model, which are
+//!   unobservable until the next access and advance correctly under
+//!   arbitrary jumps.
+//!
+//! Everything else — caches and their LRU clocks, RNG streams, dither
+//! accumulators, fetch round-robin, ROB/LSQ occupancy, phase state — is
+//! provably untouched. So after executing one fully-inert cycle the engine
+//! computes the *event horizon*: the earliest future cycle at which any
+//! thread can act again (ROB-head completion, I-fetch unblock, migration
+//! stall end) or the caller's quantum ends, advances all counters to it in
+//! closed form, and resumes exact stepping there. Cycles in which anything
+//! observable happens — *interaction windows* — always run through the
+//! reference `Core::step` path, which is why the two engines are
+//! bit-identical on every counter (see `docs/engine.md` and the
+//! `engine_equivalence` differential test wall).
+
+use crate::chip::Chip;
+use crate::thread::Completion;
+
+/// Which engine [`Chip::run_cycles`]/[`Chip::run_until`] advances time with.
+///
+/// Both engines produce bit-identical [`crate::PmuCounters`], completions
+/// and downstream `RunResult`s for every seed and chip size; the choice is
+/// purely a performance knob. `Batched` is the default; `Reference` retains
+/// the original loop as the differential oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// Step every core one cycle at a time (the original loop).
+    Reference,
+    /// Event-horizon engine: run inert stretches in closed form, falling
+    /// back to exact per-cycle stepping inside interaction windows.
+    Batched,
+}
+
+/// The retained reference loop: every cycle steps every core.
+pub(crate) fn run_reference(chip: &mut Chip, end: u64) -> Vec<Completion> {
+    while chip.cycle < end {
+        chip.mem.tick(chip.cycle);
+        for core in &mut chip.cores {
+            core.step(
+                chip.cycle,
+                &chip.cfg,
+                &mut chip.llc,
+                &mut chip.mem,
+                &mut chip.events,
+            );
+        }
+        chip.cycle += 1;
+    }
+    std::mem::take(&mut chip.events)
+}
+
+/// The event-horizon engine. Identical to [`run_reference`] except that a
+/// cycle reported inert by every core is followed by a closed-form jump to
+/// the next horizon event.
+pub(crate) fn run_batched(chip: &mut Chip, end: u64) -> Vec<Completion> {
+    while chip.cycle < end {
+        chip.mem.tick(chip.cycle);
+        let mut active = false;
+        for core in &mut chip.cores {
+            active |= core.step(
+                chip.cycle,
+                &chip.cfg,
+                &mut chip.llc,
+                &mut chip.mem,
+                &mut chip.events,
+            );
+        }
+        chip.cycle += 1;
+        if !active {
+            let horizon = horizon(chip, end);
+            if horizon > chip.cycle {
+                let n = horizon - chip.cycle;
+                for core in &mut chip.cores {
+                    core.fast_forward(n, chip.cycle, &chip.cfg);
+                }
+                chip.cycle = horizon;
+            }
+        }
+    }
+    std::mem::take(&mut chip.events)
+}
+
+/// Earliest cycle in `(chip.cycle, end]` at which anything observable can
+/// happen, given that the cycle just executed was fully inert. Every
+/// per-thread wake event is strictly in the future (a thread whose event
+/// had arrived would have acted in the cycle just stepped), so the returned
+/// horizon never truncates an interaction window.
+fn horizon(chip: &Chip, end: u64) -> u64 {
+    let mut h = end;
+    for core in &chip.cores {
+        h = h.min(core.wake_event(&chip.cfg.core));
+    }
+    h
+}

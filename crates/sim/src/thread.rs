@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 
+use crate::config::CoreConfig;
 use crate::pmu::PmuCounters;
 use crate::program::{PhaseParams, ThreadProgram};
 use crate::rng::{Dither, SplitMix64};
@@ -37,6 +38,29 @@ pub(crate) struct RobBatch {
     pub stores: u16,
     /// L1D misses carried (for MSHR accounting on drain).
     pub misses: u16,
+}
+
+/// Why a thread dispatched nothing this cycle: the Table I architectural
+/// split (frontend vs. backend) with the extended attribution of §VI-A.
+/// One classifier ([`HwThread::stall_kind`]) is shared by the per-cycle
+/// dispatch stage and the batched engine's closed-form fast-forward, so
+/// the two accountings can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StallKind {
+    /// Dispatch queue empty after a branch-mispredict redirect.
+    FrontendBranch,
+    /// Dispatch queue empty waiting on the I-cache (or the fetch port).
+    FrontendICache,
+    /// Co-runners consumed the whole dispatch width this cycle.
+    Width,
+    /// Load or store queue at capacity.
+    LsqFull,
+    /// ROB full behind an outstanding data-cache miss at the head.
+    DCache,
+    /// In-flight window beyond the issue-queue size.
+    IqFull,
+    /// ROB (shared array or per-thread hog cap) full.
+    RobFull,
 }
 
 /// Why a fetch is currently not producing µops.
@@ -194,6 +218,14 @@ impl HwThread {
 
     /// Advances the MSHR fill wheel to `now`, releasing completed fills.
     pub(crate) fn tick_mshr(&mut self, now: u64) {
+        if self.outstanding_misses == 0 {
+            // `outstanding_misses` equals the wheel's total content (fills
+            // are registered and released in lockstep), so an idle wheel can
+            // jump to `now` without walking empty slots — the O(1) path the
+            // horizon engine relies on after long inert stretches.
+            self.mshr_tick = self.mshr_tick.max(now);
+            return;
+        }
         while self.mshr_tick < now {
             self.mshr_tick += 1;
             let slot = (self.mshr_tick as usize) & (MSHR_WHEEL - 1);
@@ -273,6 +305,134 @@ impl HwThread {
             })
         } else {
             None
+        }
+    }
+
+    /// Earliest future cycle at which this thread can act again, given that
+    /// it is currently fully stalled (it did not fetch, dispatch, retire or
+    /// complete in the cycle just executed). Two things can wake it on its
+    /// own: the ROB head completing (enables retirement, and with it ROB/LSQ
+    /// space) and the I-fetch path unblocking (I-cache miss or migration
+    /// stall expiring while the dispatch queue has room). `u64::MAX` when
+    /// only *other* threads' progress can unblock it — their own wake events
+    /// bound the chip-wide horizon in that case.
+    pub(crate) fn wake_event(&self, fetch_width: u32, queue_cap: u32) -> u64 {
+        let mut wake = match self.rob.front() {
+            Some(head) => head.ready,
+            None => u64::MAX,
+        };
+        if self.fetch_q + fetch_width <= queue_cap {
+            let mut refetch = self.migrate_stall_until;
+            if self.fetch_block != FetchBlock::None {
+                refetch = refetch.max(self.fetch_block_until);
+            }
+            wake = wake.min(refetch);
+        }
+        wake
+    }
+
+    /// Classifies this thread's zero-dispatch cycle at `now`, mirroring
+    /// the dispatch stage's resource-check cascade exactly: frontend-empty
+    /// first (ARM's `STALL_FRONTEND` is "no operation in the queue"), then
+    /// dispatch width, LSQ capacity, and the shared-window ROB space.
+    /// `None` means the thread can dispatch this cycle.
+    pub(crate) fn stall_kind(
+        &self,
+        now: u64,
+        width_left: u32,
+        lq_cap: u32,
+        sq_cap: u32,
+        rob_space: u32,
+        iq_size: u32,
+    ) -> Option<StallKind> {
+        if self.fetch_q == 0 {
+            return Some(match self.fetch_block {
+                FetchBlock::Redirect => StallKind::FrontendBranch,
+                _ => StallKind::FrontendICache,
+            });
+        }
+        if width_left == 0 {
+            return Some(StallKind::Width);
+        }
+        if self.lq_occ >= lq_cap || self.sq_occ >= sq_cap {
+            return Some(StallKind::LsqFull);
+        }
+        if rob_space == 0 {
+            let head_blocked_on_miss = self
+                .rob
+                .front()
+                .map(|h| h.ready > now && h.misses > 0)
+                .unwrap_or(false);
+            return Some(if head_blocked_on_miss {
+                StallKind::DCache
+            } else if self.rob_occ > iq_size {
+                StallKind::IqFull
+            } else {
+                StallKind::RobFull
+            });
+        }
+        None
+    }
+
+    /// Charges `n` cycles of `kind` to the architectural and extended PMU
+    /// counters.
+    pub(crate) fn apply_stall(&mut self, kind: StallKind, n: u64) {
+        match kind {
+            StallKind::FrontendBranch | StallKind::FrontendICache => self.pmu.stall_frontend += n,
+            _ => self.pmu.stall_backend += n,
+        }
+        match kind {
+            StallKind::FrontendBranch => self.pmu.ext.stall_branch += n,
+            StallKind::FrontendICache => self.pmu.ext.stall_icache += n,
+            StallKind::Width => self.pmu.ext.stall_width += n,
+            StallKind::LsqFull => self.pmu.ext.stall_lsq_full += n,
+            StallKind::DCache => self.pmu.ext.stall_dcache += n,
+            StallKind::IqFull => self.pmu.ext.stall_iq_full += n,
+            StallKind::RobFull => self.pmu.ext.stall_rob_full += n,
+        }
+    }
+
+    /// Advances `n` fully-stalled cycles starting at cycle `now` in closed
+    /// form: exactly the counter increments and EWMA updates the per-cycle
+    /// dispatch stage performs on its stall paths. The caller (the horizon
+    /// engine) has established that nothing observable changes across the
+    /// window, so the classification is constant and applied `n` times at
+    /// once. (`ready > now` holds for the whole window because the ROB
+    /// head's `ready` bounds the horizon.)
+    pub(crate) fn fast_forward_stall(
+        &mut self,
+        n: u64,
+        now: u64,
+        core: &CoreConfig,
+        lq_cap: u32,
+        sq_cap: u32,
+        rob_space: u32,
+    ) {
+        self.pmu.cpu_cycles += n;
+        // In an inert cycle nobody dispatched, so every thread saw the full
+        // dispatch width; an unstalled thread would contradict inertness.
+        let kind = self
+            .stall_kind(
+                now,
+                core.dispatch_width,
+                lq_cap,
+                sq_cap,
+                rob_space,
+                core.iq_size,
+            )
+            .expect("inert window implies every thread is stalled");
+        self.apply_stall(kind, n);
+        // Replay the per-cycle zero-fill EWMA updates verbatim so the rate
+        // stays bit-identical to the reference path (iterated rounding has
+        // no closed form); stop once the decay reaches its fixed point.
+        if self.dram_rate != 0.0 {
+            for _ in 0..n {
+                let before = self.dram_rate;
+                self.update_dram_rate(0);
+                if self.dram_rate == before {
+                    break;
+                }
+            }
         }
     }
 

@@ -54,5 +54,5 @@ pub mod prelude {
         prepare_workload, run_cell, run_workload, ExperimentConfig, LinuxLike, ManagerConfig,
         OracleSynpa, Policy, RandomPairing, Synpa,
     };
-    pub use synpa_sim::{Chip, ChipConfig, PmuCounters, Slot};
+    pub use synpa_sim::{Chip, ChipConfig, EngineKind, PmuCounters, Slot};
 }

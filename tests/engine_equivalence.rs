@@ -1,0 +1,283 @@
+//! Differential test wall for the event-horizon engine.
+//!
+//! The batched engine's contract is *bit-identity*: for every seed, chip
+//! size and workload, `EngineKind::Batched` must produce exactly the same
+//! PMU counters, completions, placements and `RunResult`s as the retained
+//! `EngineKind::Reference` cycle-by-cycle loop. These tests run both
+//! engines side by side over unit scenarios, full 28-core/56-thread chips,
+//! whole managed workload runs, and proptest-randomized demand mixes.
+
+use proptest::prelude::*;
+use synpa::prelude::*;
+use synpa::sched::RunResult;
+use synpa::sim::{EngineKind, PhaseParams, UniformProgram};
+
+/// Memory-bound demands: long DRAM-latency stalls, the regime the horizon
+/// engine elides most aggressively.
+fn mem_phase() -> PhaseParams {
+    PhaseParams {
+        mem_ratio: 0.45,
+        data_footprint: 16 << 20,
+        data_seq: 0.05,
+        code_footprint: 1024,
+        code_hot: 1.0,
+        br_misp_rate: 0.0002,
+        exec_latency: 1,
+        mlp: 0.3,
+    }
+}
+
+/// Frontend-hostile demands: I-cache misses and redirects dominate.
+fn icache_phase() -> PhaseParams {
+    PhaseParams {
+        mem_ratio: 0.1,
+        data_footprint: 2048,
+        data_seq: 0.9,
+        code_footprint: 256 << 10,
+        code_hot: 0.3,
+        br_misp_rate: 0.012,
+        exec_latency: 1,
+        mlp: 0.8,
+    }
+}
+
+/// The LLC-thrashing mix the `simulator/*` benches use.
+fn llc_phase() -> PhaseParams {
+    PhaseParams {
+        mem_ratio: 0.3,
+        data_footprint: 256 << 10,
+        data_seq: 0.4,
+        ..PhaseParams::compute()
+    }
+}
+
+fn build(cfg: &ChipConfig, apps: &[(PhaseParams, u64)]) -> Chip {
+    let mut chip = Chip::new(cfg.clone());
+    for (i, &(params, len)) in apps.iter().enumerate() {
+        chip.attach(
+            Slot(i),
+            i,
+            Box::new(UniformProgram::new(format!("p{i}"), params, len)),
+        );
+    }
+    chip
+}
+
+/// Runs the same chunk schedule under both engines and asserts every
+/// observable matches: per-chunk completions, final cycle, final placement
+/// and every field of every thread's PMU. `swap` optionally exchanges the
+/// slots of two apps after the given chunk, exercising the migration path.
+fn assert_equivalent(
+    cfg: &ChipConfig,
+    apps: &[(PhaseParams, u64)],
+    chunks: &[u64],
+    swap: Option<(usize, usize, usize)>,
+) {
+    let mut reference = build(&cfg.clone().with_engine(EngineKind::Reference), apps);
+    let mut batched = build(&cfg.clone().with_engine(EngineKind::Batched), apps);
+    for (k, &n) in chunks.iter().enumerate() {
+        let ev_ref = reference.run_cycles(n);
+        let ev_bat = batched.run_cycles(n);
+        assert_eq!(ev_ref, ev_bat, "completions diverged in chunk {k}");
+        assert_eq!(reference.cycle(), batched.cycle());
+        if let Some((after, a, b)) = swap {
+            if after == k && a < apps.len() && b < apps.len() && a != b {
+                for chip in [&mut reference, &mut batched] {
+                    let sa = chip.slot_of(a).unwrap();
+                    let sb = chip.slot_of(b).unwrap();
+                    chip.set_placement(&[(a, sb), (b, sa)]);
+                }
+            }
+        }
+    }
+    assert_eq!(reference.placement(), batched.placement());
+    for i in 0..apps.len() {
+        assert_eq!(
+            reference.pmu_of(i).unwrap(),
+            batched.pmu_of(i).unwrap(),
+            "PMU counters diverged for app {i}"
+        );
+        assert_eq!(reference.launches_of(i), batched.launches_of(i));
+    }
+}
+
+#[test]
+fn single_thread_all_profiles() {
+    for phase in [
+        PhaseParams::compute(),
+        mem_phase(),
+        icache_phase(),
+        llc_phase(),
+    ] {
+        assert_equivalent(
+            &ChipConfig::thunderx2(1),
+            &[(phase, 10_000)],
+            &[3_000, 3_000, 3_000],
+            None,
+        );
+    }
+}
+
+#[test]
+fn smt_pair_mixed_profiles() {
+    assert_equivalent(
+        &ChipConfig::thunderx2(1),
+        &[(PhaseParams::compute(), u64::MAX), (mem_phase(), u64::MAX)],
+        &[5_000, 5_000],
+        None,
+    );
+    assert_equivalent(
+        &ChipConfig::thunderx2(1),
+        &[(mem_phase(), u64::MAX), (mem_phase(), 40_000)],
+        &[5_000, 5_000],
+        None,
+    );
+}
+
+#[test]
+fn full_4core_chip_with_migration() {
+    let apps: Vec<(PhaseParams, u64)> = (0..8)
+        .map(|i| {
+            let p = match i % 4 {
+                0 => PhaseParams::compute(),
+                1 => mem_phase(),
+                2 => icache_phase(),
+                _ => llc_phase(),
+            };
+            (p, 50_000)
+        })
+        .collect();
+    assert_equivalent(
+        &ChipConfig::thunderx2(4),
+        &apps,
+        &[4_000, 4_000, 4_000],
+        Some((1, 0, 5)),
+    );
+}
+
+#[test]
+fn partial_occupancy_and_empty_chip() {
+    // Three apps on a 4-core chip: five empty slots, one empty core pair.
+    assert_equivalent(
+        &ChipConfig::thunderx2(4),
+        &[
+            (mem_phase(), u64::MAX),
+            (PhaseParams::compute(), 20_000),
+            (llc_phase(), u64::MAX),
+        ],
+        &[6_000, 6_000],
+        None,
+    );
+    // No apps at all: both engines just advance the clock.
+    assert_equivalent(&ChipConfig::thunderx2(2), &[], &[10_000], None);
+}
+
+#[test]
+fn thunderx2_full_56_threads() {
+    let apps: Vec<(PhaseParams, u64)> = (0..56)
+        .map(|i| {
+            let p = match i % 4 {
+                0 => PhaseParams::compute(),
+                1 => mem_phase(),
+                2 => icache_phase(),
+                _ => llc_phase(),
+            };
+            (p, 30_000)
+        })
+        .collect();
+    assert_equivalent(
+        &ChipConfig::thunderx2_full(),
+        &apps,
+        &[2_000, 2_000, 2_000],
+        Some((0, 3, 40)),
+    );
+}
+
+/// `Debug` output prints every field (f64s in shortest-round-trip form),
+/// so equal strings mean bit-identical run results.
+fn run_fingerprint(engine: EngineKind, policy_seed: u64) -> String {
+    let names = [
+        "mcf",
+        "xalancbmk_r",
+        "gobmk",
+        "perlbench",
+        "nab_r",
+        "hmmer",
+        "leela_r",
+        "astar",
+    ];
+    let apps: Vec<AppProfile> = names
+        .iter()
+        .map(|n| spec::by_name(n).unwrap().with_length(30_000))
+        .collect();
+    let solo = vec![1.0; 8];
+    let cfg = ManagerConfig {
+        chip: ChipConfig::thunderx2(4).with_engine(engine),
+        ..Default::default()
+    };
+    let mut policy = RandomPairing::new(policy_seed);
+    let result: RunResult = run_workload(&apps, &solo, &mut policy, &cfg);
+    format!("{result:?}")
+}
+
+#[test]
+fn managed_workload_run_is_bit_identical() {
+    // RandomPairing migrates threads every quantum, so this covers the
+    // whole manager loop: sampling, placement changes, completions.
+    assert_eq!(
+        run_fingerprint(EngineKind::Reference, 7),
+        run_fingerprint(EngineKind::Batched, 7)
+    );
+}
+
+fn arb_phase() -> impl Strategy<Value = PhaseParams> {
+    (
+        0.0f64..0.5,  // mem_ratio
+        1u64..8192,   // data footprint (KiB)
+        0.0f64..1.0,  // data_seq
+        1u64..256,    // code footprint (KiB)
+        0.3f64..1.0,  // code_hot
+        0.0f64..0.02, // br_misp_rate
+        1u32..6,      // exec_latency
+        0.0f64..1.0,  // mlp
+    )
+        .prop_map(
+            |(mem_ratio, data_kb, data_seq, code_kb, code_hot, br, exec_latency, mlp)| {
+                PhaseParams {
+                    mem_ratio,
+                    data_footprint: data_kb * 1024,
+                    data_seq,
+                    code_footprint: code_kb * 1024,
+                    code_hot,
+                    br_misp_rate: br,
+                    exec_latency,
+                    mlp,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn engines_agree_on_random_workloads(
+        phases in proptest::collection::vec(arb_phase(), 1..8),
+        cores in 1u32..4,
+        seed in 0u64..1_000_000,
+        len in 5_000u64..80_000,
+        chunk in 500u64..4_000,
+        swap_after in 0usize..3,
+    ) {
+        let slots = (cores * 2) as usize;
+        let apps: Vec<(PhaseParams, u64)> =
+            phases.iter().take(slots).map(|&p| (p, len)).collect();
+        let swap = (apps.len() >= 2).then_some((swap_after, 0usize, apps.len() - 1));
+        assert_equivalent(
+            &ChipConfig::thunderx2(cores).with_seed(seed),
+            &apps,
+            &[chunk, chunk, chunk],
+            swap,
+        );
+    }
+}
