@@ -49,6 +49,20 @@ pub struct Workload {
     /// Application names in arrival order (position = the paper's bracketed
     /// index, e.g. `leela_r(04)` is `apps[4]`).
     pub apps: Vec<String>,
+    /// Per-app arrival cycle, parallel to `apps`. Empty means every app
+    /// arrives at cycle 0 (the paper's methodology). Non-zero arrivals are
+    /// honoured at the first quantum boundary at or after the cycle, and
+    /// each app's turnaround time is measured from its arrival. Apps
+    /// sharing an arrival cycle form one *wave*; waves must be even-sized
+    /// so SMT pairing policies always see an even thread count.
+    pub arrivals: Vec<u64>,
+}
+
+impl Workload {
+    /// Arrival cycle of app `k` (0 when arrivals are unset).
+    pub fn arrival(&self, k: usize) -> u64 {
+        self.arrivals.get(k).copied().unwrap_or(0)
+    }
 }
 
 /// Number of applications per workload.
@@ -121,7 +135,56 @@ pub fn random_workload(name: &str, kind: WorkloadKind, size: usize, seed: u64) -
         name: name.to_string(),
         kind,
         apps: sized_workload(&mut rng, kind, size),
+        arrivals: Vec::new(),
     }
+}
+
+/// A partial-occupancy workload: `occupied` applications destined for a
+/// chip with `slots` hardware threads, leaving `slots - occupied` slots —
+/// and in particular whole cores — empty for the entire run. This is the
+/// regime where per-core horizon batching shines: idle cores cost the
+/// simulator nothing while their neighbours stay busy. Deterministic per
+/// `(kind, occupied, seed)`; `occupied` must be even and at most `slots`.
+pub fn partial_occupancy_workload(
+    name: &str,
+    kind: WorkloadKind,
+    occupied: usize,
+    slots: usize,
+    seed: u64,
+) -> Workload {
+    assert!(
+        occupied <= slots,
+        "partial occupancy needs occupied ({occupied}) <= slots ({slots})"
+    );
+    random_workload(name, kind, occupied, seed)
+}
+
+/// A phase-shifted-arrival workload: `size` applications arriving in
+/// `waves` equal even-sized groups, wave *i* at cycle `i * wave_gap`. The
+/// machine fills up in waves — early cores run while late cores sit empty,
+/// then the overlap shifts as early apps finish first — so core activity
+/// is deliberately decorrelated across the chip (the case the per-core
+/// horizon engine is built for, and a scheduling regime the fixed
+/// 8-apps-at-once suite never exercises).
+pub fn phase_shifted_workload(
+    name: &str,
+    kind: WorkloadKind,
+    size: usize,
+    waves: usize,
+    wave_gap: u64,
+    seed: u64,
+) -> Workload {
+    assert!(waves >= 1, "need at least one wave");
+    assert!(
+        size % waves == 0 && (size / waves) % 2 == 0,
+        "waves must be equal and even-sized: {size} apps / {waves} waves"
+    );
+    let mut w = random_workload(name, kind, size, seed);
+    let per_wave = size / waves;
+    w.arrivals = (0..size)
+        .map(|k| (k / per_wave) as u64 * wave_gap)
+        .collect();
+    w
 }
 
 /// A randomized full-chip suite: `count` workloads of `size` applications
@@ -174,6 +237,7 @@ pub fn standard_suite() -> Vec<Workload> {
             name: format!("be{i}"),
             kind: WorkloadKind::BackendIntensive,
             apps,
+            arrivals: Vec::new(),
         });
     }
     for i in 0..5 {
@@ -196,6 +260,7 @@ pub fn standard_suite() -> Vec<Workload> {
             name: format!("fe{i}"),
             kind: WorkloadKind::FrontendIntensive,
             apps,
+            arrivals: Vec::new(),
         });
     }
     for i in 0..10 {
@@ -219,6 +284,7 @@ pub fn standard_suite() -> Vec<Workload> {
             name: format!("fb{i}"),
             kind: WorkloadKind::Mixed,
             apps,
+            arrivals: Vec::new(),
         });
     }
     out
@@ -367,6 +433,43 @@ mod tests {
     #[should_panic(expected = "even")]
     fn odd_workload_size_panics() {
         random_workload("w", WorkloadKind::Mixed, 7, 1);
+    }
+
+    #[test]
+    fn partial_occupancy_workload_is_smaller_than_slots() {
+        let w = partial_occupancy_workload("half", WorkloadKind::Mixed, 28, 56, 7);
+        assert_eq!(w.apps.len(), 28);
+        assert!(w.arrivals.is_empty());
+        assert_eq!(w.arrival(5), 0, "unset arrivals default to cycle 0");
+        for a in &w.apps {
+            assert!(expected_group(a).is_some(), "unknown app {a}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "occupied")]
+    fn partial_occupancy_beyond_slots_panics() {
+        partial_occupancy_workload("bad", WorkloadKind::Mixed, 58, 56, 7);
+    }
+
+    #[test]
+    fn phase_shifted_workload_arrives_in_even_waves() {
+        let w = phase_shifted_workload("wave", WorkloadKind::Mixed, 56, 4, 50_000, 9);
+        assert_eq!(w.apps.len(), 56);
+        assert_eq!(w.arrivals.len(), 56);
+        for (k, &a) in w.arrivals.iter().enumerate() {
+            assert_eq!(a, (k / 14) as u64 * 50_000, "wave of app {k}");
+        }
+        // The mix itself matches the unshifted generator for the same seed:
+        // arrivals layer on top, they don't disturb the RNG stream.
+        let plain = random_workload("wave", WorkloadKind::Mixed, 56, 9);
+        assert_eq!(w.apps, plain.apps);
+    }
+
+    #[test]
+    #[should_panic(expected = "waves")]
+    fn uneven_waves_panic() {
+        phase_shifted_workload("bad", WorkloadKind::Mixed, 8, 3, 1_000, 1);
     }
 
     #[test]

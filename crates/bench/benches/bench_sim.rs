@@ -1,7 +1,8 @@
 //! Simulator throughput: cycles simulated per second for a single thread,
 //! an SMT pair, the full 4-core evaluation chip and the 28-core/56-thread
-//! full machine — plus a reference-vs-batched engine comparison on the
-//! 8-app chip so the event-horizon win is tracked in BASELINES.md.
+//! full machine — plus a three-way engine comparison (reference vs.
+//! chip-wide batched vs. per-core horizons) on the 8-app and 56-app chips
+//! so the horizon wins are tracked in BASELINES.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -39,7 +40,9 @@ fn sim_throughput(c: &mut Criterion) {
         ("chip_56apps", 56, 28),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
-            let mut chip = chip_with(apps, cores, EngineKind::Batched);
+            // The `simulator/*` rows always run the workspace default
+            // engine, so BASELINES.md tracks what users actually get.
+            let mut chip = chip_with(apps, cores, ChipConfig::thunderx2(cores).engine);
             b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
         });
     }
@@ -49,12 +52,18 @@ fn sim_throughput(c: &mut Criterion) {
 fn engine_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.throughput(Throughput::Elements(CYCLES));
-    for (label, engine) in [
-        ("reference", EngineKind::Reference),
-        ("batched", EngineKind::Batched),
+    // `batched_percore` is the per-core horizon engine on the same 8-app
+    // scenario; the `_56` rows isolate the full-chip regime the per-core
+    // rendezvous was built for (most cores busy, stalls uncorrelated).
+    for (label, engine, apps, cores) in [
+        ("reference", EngineKind::Reference, 8usize, 4u32),
+        ("batched", EngineKind::Batched, 8, 4),
+        ("batched_percore", EngineKind::PerCore, 8, 4),
+        ("batched_56", EngineKind::Batched, 56, 28),
+        ("batched_percore_56", EngineKind::PerCore, 56, 28),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
-            let mut chip = chip_with(8, 4, engine);
+            let mut chip = chip_with(apps, cores, engine);
             b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
         });
     }

@@ -16,6 +16,14 @@
 //! `--smoke` is the CI configuration: one workload, one repetition, a short
 //! quantum and a canned model (no training), so the 56-thread path is
 //! exercised end-to-end on every PR in well under a minute.
+//!
+//! Beyond the classic everyone-arrives-at-once mixes, the scenario table
+//! always includes two diversity scenarios (`fcpart`, `fcwave`): a
+//! half-occupied chip (28 apps on 56 threads, whole cores idle all run)
+//! and a phase-shifted workload whose 56 apps arrive in four waves — the
+//! partial-activity regimes where the per-core horizon engine pays off.
+//! `--engine` selects the cycle-advancement engine; all engines produce
+//! byte-identical scenario tables (CI diffs them on every PR).
 
 use std::time::Instant;
 use synpa::metrics::{antt, fairness, stp, tt_speedup, workload_ipc};
@@ -25,8 +33,12 @@ use synpa_experiments::{
     SuiteSpec,
 };
 
-fn usage() -> ! {
-    eprintln!("usage: full_chip [--smoke] [--workloads N] [--reps N] [--engine reference|batched]");
+fn usage(reason: &str) -> ! {
+    eprintln!("error: {reason}");
+    eprintln!(
+        "usage: full_chip [--smoke] [--workloads N] [--reps N] \
+         [--engine reference|batched|percore]"
+    );
     std::process::exit(2)
 }
 
@@ -35,26 +47,25 @@ fn main() {
     let mut smoke = false;
     let mut n_workloads: Option<usize> = None;
     let mut reps: Option<u32> = None;
-    let mut engine = EngineKind::Batched;
+    let mut engine: Option<EngineKind> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
             // Engines are bit-identical (same cells, same cache keys);
-            // `--engine reference` exists to time the retained oracle path.
+            // `--engine reference` exists to time the retained oracle path
+            // and `--engine batched` the chip-wide horizon midpoint.
+            // Unknown names are a hard error (never a silent default).
             "--engine" => {
-                engine = match it.next().map(String::as_str) {
-                    Some("reference") => EngineKind::Reference,
-                    Some("batched") => EngineKind::Batched,
-                    _ => usage(),
-                }
+                let name = it.next().unwrap_or_else(|| usage("--engine needs a value"));
+                engine = Some(EngineKind::parse(name).unwrap_or_else(|e| usage(&e)));
             }
             "--workloads" => {
                 n_workloads = Some(
                     it.next()
                         .and_then(|v| v.parse::<usize>().ok())
                         .filter(|&n| n >= 1)
-                        .unwrap_or_else(|| usage()),
+                        .unwrap_or_else(|| usage("--workloads needs a positive count")),
                 )
             }
             "--reps" => {
@@ -62,12 +73,13 @@ fn main() {
                     it.next()
                         .and_then(|v| v.parse::<u32>().ok())
                         .filter(|&r| r >= 1)
-                        .unwrap_or_else(|| usage()),
+                        .unwrap_or_else(|| usage("--reps needs a positive count")),
                 )
             }
-            _ => usage(),
+            other => usage(&format!("unknown argument '{other}'")),
         }
     }
+    let engine = engine.unwrap_or(ChipConfig::thunderx2_full().engine);
     let n_workloads = n_workloads.unwrap_or(if smoke { 1 } else { 3 });
     let reps = reps.unwrap_or(if smoke { 1 } else { 3 });
 
@@ -84,7 +96,28 @@ fn main() {
         reps,
         ..Default::default()
     };
-    let workloads = synpa::apps::workload::full_chip_suite(n_workloads, size, 0xF0C1);
+    let mut workloads = synpa::apps::workload::full_chip_suite(n_workloads, size, 0xF0C1);
+    // Scenario diversity: a half-occupied chip (whole cores idle for the
+    // entire run) and a four-wave phase-shifted arrival pattern (cores
+    // fill up and drain in waves). Both leave large parts of the chip
+    // inactive for long stretches — the regime the per-core horizon
+    // engine was built for — and both are measured like any other cell.
+    use synpa::apps::workload::{partial_occupancy_workload, phase_shifted_workload, WorkloadKind};
+    workloads.push(partial_occupancy_workload(
+        "fcpart",
+        WorkloadKind::Mixed,
+        size / 2,
+        size,
+        0xF0C2,
+    ));
+    workloads.push(phase_shifted_workload(
+        "fcwave",
+        WorkloadKind::Mixed,
+        size,
+        4,
+        40_000,
+        0xF0C3,
+    ));
     // Smoke runs use the canned model so CI never pays for training.
     let model = if smoke {
         canned_model()
@@ -100,11 +133,14 @@ fn main() {
     };
 
     println!(
-        "full chip: {} workloads x {} apps on 28 cores / 56 threads, {} reps, {} workers{}",
+        "full chip: {} workloads x {} apps (+ fcpart {}-app / fcwave 4-wave scenarios) \
+         on 28 cores / 56 threads, {} reps, {} workers, {} engine{}",
         n_workloads,
         size,
+        size / 2,
         reps,
         threads(),
+        engine,
         if smoke { " (smoke)" } else { "" }
     );
     let t0 = Instant::now();

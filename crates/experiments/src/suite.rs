@@ -170,9 +170,12 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// *result*: the whole config's `Debug` rendering, with the non-semantic
 /// fields neutralized first — `threads` (parallelism never affects
 /// output), `base_seed` (a separate component of the cell key) and
-/// `chip.engine` (the reference and batched engines are bit-identical on
-/// every counter, enforced by the `engine_equivalence` differential wall,
-/// so cells stay warm across engine choice). `chip.seed` stays in the
+/// `chip.engine` (every engine — reference, batched, percore — is
+/// bit-identical on every counter, enforced by the `engine_equivalence`
+/// differential wall, so cells stay warm across engine choice). The
+/// engine field is canonicalized to one fixed variant rather than the
+/// default, so a future default change can't invalidate caches either.
+/// `chip.seed` stays in the
 /// hash: the per-repetition measurement runs override it, but calibration
 /// (`prepare_workload`) consumes it as-is, so launch targets and solo IPC
 /// depend on it. Hashing the full struct means any field added to
@@ -204,6 +207,18 @@ pub fn cell_key(
     for app in &workload.apps {
         h = fnv1a(h, app.as_bytes());
         h = fnv1a(h, b"|");
+    }
+    // Arrival staggering changes every measured quantity (TT is measured
+    // from each app's arrival), so phase-shifted workloads must never
+    // share cells with their all-at-zero twins. An empty arrival vector
+    // hashes like all-zeros-omitted, keeping plain workloads' keys stable
+    // in shape.
+    for k in 0..workload.apps.len() {
+        let a = workload.arrival(k);
+        if a != 0 {
+            h = fnv1a(h, &(k as u64).to_le_bytes());
+            h = fnv1a(h, &a.to_le_bytes());
+        }
     }
     let mut hashed: Vec<&str> = Vec::new();
     for app in &workload.apps {
@@ -453,9 +468,29 @@ mod tests {
         // The engines are bit-identical (differential wall), so switching
         // one must not invalidate — or fork — the cell cache.
         let a = cfg();
-        let mut b = cfg();
-        b.manager.chip.engine = EngineKind::Reference;
-        assert_eq!(config_hash(&a), config_hash(&b));
+        for engine in EngineKind::ALL {
+            let mut b = cfg();
+            b.manager.chip.engine = engine;
+            assert_eq!(config_hash(&a), config_hash(&b), "{engine}");
+        }
+    }
+
+    #[test]
+    fn cell_key_tracks_arrival_staggering() {
+        let m = SynpaModel::default();
+        let w = workload::by_name("fb2").unwrap();
+        let plain = cell_key(&w, SuitePolicy::Linux, &cfg(), &m);
+        let mut shifted = w.clone();
+        shifted.arrivals = vec![0, 0, 0, 0, 40_000, 40_000, 40_000, 40_000];
+        assert_ne!(
+            plain,
+            cell_key(&shifted, SuitePolicy::Linux, &cfg(), &m),
+            "staggered arrivals must not reuse all-at-zero cells"
+        );
+        // Explicit all-zero arrivals are semantically the plain workload.
+        let mut zeros = w.clone();
+        zeros.arrivals = vec![0; 8];
+        assert_eq!(plain, cell_key(&zeros, SuitePolicy::Linux, &cfg(), &m));
     }
 
     #[test]

@@ -20,7 +20,9 @@ mod manager;
 mod policy;
 mod runner;
 
-pub use manager::{run_workload, AppResult, ManagerConfig, QuantumRow, RunResult};
+pub use manager::{
+    run_workload, run_workload_with_arrivals, AppResult, ManagerConfig, QuantumRow, RunResult,
+};
 pub use policy::{
     pairs_to_slots, GreedySynpa, LinuxLike, OracleSynpa, Policy, QuantumView, RandomPairing,
     StaticPairs, Synpa,

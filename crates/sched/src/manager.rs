@@ -106,7 +106,8 @@ impl Default for ManagerConfig {
 }
 
 /// Runs `apps` (with launch targets already set) under `policy` until every
-/// application finishes its first launch.
+/// application finishes its first launch. Equivalent to
+/// [`run_workload_with_arrivals`] with every app arriving at cycle 0.
 ///
 /// `solo_ipc[k]` is app *k*'s isolated IPC reference. Initial placement is
 /// arrival order — app *k* shares core *k mod cores* with app *k + n/2*,
@@ -117,24 +118,74 @@ pub fn run_workload(
     policy: &mut dyn Policy,
     cfg: &ManagerConfig,
 ) -> RunResult {
+    run_workload_with_arrivals(apps, solo_ipc, policy, cfg, &[])
+}
+
+/// First free hardware-thread slot in (context, core) order: arriving apps
+/// fill context 0 of every core before any core runs two threads. With
+/// every app arriving at cycle 0 this reproduces the classic arrival-order
+/// placement (app *k* on ctx 0 of core *k*, app *k + n/2* on ctx 1 of core
+/// *k*); mid-run it is the "place on an idle core first" behaviour of a
+/// load-balancing OS.
+fn first_free_slot(chip: &Chip) -> Option<Slot> {
+    let smt = chip.config().core.smt_ways as usize;
+    let cores = chip.config().cores as usize;
+    let occupied: std::collections::HashSet<usize> =
+        chip.placement().iter().map(|&(_, s)| s.0).collect();
+    for ctx in 0..smt {
+        for core in 0..cores {
+            let slot = Slot(core * smt + ctx);
+            if !occupied.contains(&slot.0) {
+                return Some(slot);
+            }
+        }
+    }
+    None
+}
+
+/// [`run_workload`] with per-app arrival cycles (`arrivals[k]` for app *k*;
+/// an empty slice or missing entries mean cycle 0).
+///
+/// Apps may underfill the chip (partial occupancy) and may arrive
+/// staggered: each app is attached at the first quantum boundary at or
+/// after its arrival cycle, onto the first free slot in (context, core)
+/// order. Each app's turnaround time is measured from its own arrival.
+/// Apps sharing an arrival cycle must form even-sized waves so the placed
+/// thread count stays even for SMT pairing policies.
+pub fn run_workload_with_arrivals(
+    apps: &[AppProfile],
+    solo_ipc: &[f64],
+    policy: &mut dyn Policy,
+    cfg: &ManagerConfig,
+    arrivals: &[u64],
+) -> RunResult {
     let n = apps.len();
     let slots = cfg.chip.hw_threads();
-    assert_eq!(n, slots, "workload size must fill every hardware thread");
+    assert!(
+        n <= slots,
+        "workload size {n} exceeds the chip's {slots} hardware threads"
+    );
+    assert!(n % 2 == 0, "workload size must be even (SMT2 pairing)");
     assert_eq!(solo_ipc.len(), n);
+    let arrival = |k: usize| arrivals.get(k).copied().unwrap_or(0);
+    {
+        let mut by_cycle: std::collections::BTreeMap<u64, usize> =
+            std::collections::BTreeMap::new();
+        for k in 0..n {
+            *by_cycle.entry(arrival(k)).or_default() += 1;
+        }
+        assert!(
+            by_cycle.values().all(|&c| c % 2 == 0),
+            "arrival waves must be even-sized (SMT2 pairing): {by_cycle:?}"
+        );
+    }
     let smt = cfg.chip.core.smt_ways as usize;
     let width = cfg.chip.core.dispatch_width;
 
     let mut chip = Chip::new(cfg.chip.clone());
-    // Arrival-order initial placement: app k (k < n/2) on ctx 0 of core k,
-    // app k+n/2 on ctx 1 of core k.
-    for (k, app) in apps.iter().enumerate() {
-        let slot = if k < n / 2 {
-            Slot(k * smt)
-        } else {
-            Slot((k - n / 2) * smt + 1)
-        };
-        chip.attach(slot, k, Box::new(app.clone()));
-    }
+    // Pending arrivals in (cycle, index) order; attach everything due.
+    let mut pending: Vec<usize> = (0..n).collect();
+    pending.sort_by_key(|&k| (arrival(k), k));
 
     let ids: Vec<usize> = (0..n).collect();
     let mut session = SamplingSession::new();
@@ -144,12 +195,22 @@ pub fn run_workload(
     let mut quantum = 0u64;
 
     while quantum < cfg.max_quanta && tt.iter().any(|t| t.is_none()) {
-        // Absolute quantum boundaries: the engine (reference or batched,
-        // per `cfg.chip.engine`) advances to exactly this cycle.
+        // Attach every app whose arrival cycle has been reached (at cycle 0
+        // this is the whole workload in the classic methodology).
+        while let Some(&k) = pending.first() {
+            if arrival(k) > chip.cycle() {
+                break;
+            }
+            let slot = first_free_slot(&chip).expect("even waves never overfill the chip");
+            chip.attach(slot, k, Box::new(apps[k].clone()));
+            pending.remove(0);
+        }
+        // Absolute quantum boundaries: the engine (reference, batched or
+        // percore, per `cfg.chip.engine`) advances to exactly this cycle.
         let events = chip.run_until((quantum + 1) * cfg.quantum_cycles);
         for ev in events {
             if ev.launch == 0 && tt[ev.app_id].is_none() {
-                tt[ev.app_id] = Some(ev.cycle);
+                tt[ev.app_id] = Some(ev.cycle - arrival(ev.app_id));
             }
         }
         let samples = session.sample(&chip, &ids);
@@ -203,7 +264,7 @@ pub fn run_workload(
         .iter()
         .enumerate()
         .map(|(k, app)| {
-            let tt_cycles = tt[k].unwrap_or(end_cycle);
+            let tt_cycles = tt[k].unwrap_or_else(|| end_cycle.saturating_sub(arrival(k)));
             AppResult {
                 app: k,
                 name: app.name().to_string(),
@@ -297,6 +358,88 @@ mod tests {
         let b = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
         assert_eq!(a.tt_cycles, b.tt_cycles);
         assert_eq!(a.quanta, b.quanta);
+    }
+
+    #[test]
+    fn partial_occupancy_leaves_cores_idle_and_finishes() {
+        // 4 apps on a 4-core / 8-thread chip: two cores stay empty, the
+        // run must still complete and report per-app results.
+        let names = ["mcf", "gobmk", "hmmer", "astar"];
+        let apps: Vec<AppProfile> = names
+            .iter()
+            .map(|n| spec::by_name(n).unwrap().with_length(30_000))
+            .collect();
+        let solo = vec![1.0; 4];
+        let cfg = ManagerConfig::default();
+        let result = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        assert_eq!(result.per_app.len(), 4);
+        assert!(result.quanta < cfg.max_quanta, "must finish under the cap");
+        assert!(result.per_app.iter().all(|a| a.tt_cycles > 0));
+    }
+
+    #[test]
+    fn staggered_arrivals_attach_late_and_measure_tt_from_arrival() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        // Second wave arrives 4 quanta in.
+        let gap = 4 * cfg.quantum_cycles;
+        let arrivals = [0, 0, 0, 0, gap, gap, gap, gap];
+        let base = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        let wave = run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+        assert_eq!(wave.per_app.len(), 8);
+        assert!(wave.quanta < cfg.max_quanta, "must finish under the cap");
+        // Early apps ran alone on their cores for the first 4 quanta, so
+        // they can only be faster than in the everyone-at-once run.
+        for k in 0..4 {
+            assert!(
+                wave.per_app[k].tt_cycles <= base.per_app[k].tt_cycles,
+                "app {k}: {} vs {}",
+                wave.per_app[k].tt_cycles,
+                base.per_app[k].tt_cycles
+            );
+        }
+        // Late apps' TT is measured from their arrival, not from cycle 0.
+        let end = wave.quanta * cfg.quantum_cycles;
+        for k in 4..8 {
+            assert!(wave.per_app[k].tt_cycles > 0);
+            assert!(
+                wave.per_app[k].tt_cycles <= end - gap + cfg.quantum_cycles,
+                "app {k} TT {} not measured from arrival",
+                wave.per_app[k].tt_cycles
+            );
+        }
+    }
+
+    #[test]
+    fn staggered_arrivals_work_under_a_migrating_policy() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let gap = 2 * cfg.quantum_cycles;
+        let arrivals = [0, 0, 0, 0, 0, 0, gap, gap];
+        let mut policy = RandomPairing::new(11);
+        let result = run_workload_with_arrivals(&apps, &solo, &mut policy, &cfg, &arrivals);
+        assert!(result.quanta < cfg.max_quanta);
+        assert!(result.migrations > 0, "policy still re-pairs across waves");
+    }
+
+    #[test]
+    #[should_panic(expected = "even-sized")]
+    fn odd_arrival_wave_panics() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let arrivals = [0, 0, 0, 0, 0, 10_000, 10_000, 10_000];
+        run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn oversized_workload_panics() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig {
+            chip: ChipConfig::thunderx2(2), // 4 slots for 8 apps
+            ..Default::default()
+        };
+        run_workload(&apps, &solo, &mut LinuxLike, &cfg);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   (the paper's outlier rule).
 //! * Runs are independent and execute on worker threads.
 
-use crate::manager::{run_workload, ManagerConfig, RunResult};
+use crate::manager::{run_workload_with_arrivals, ManagerConfig, RunResult};
 use crate::policy::Policy;
 use std::collections::HashMap;
 use synpa_apps::{characterize_isolated_with, spec, AppProfile, Workload};
@@ -147,7 +147,13 @@ where
         let mut mgr = cfg.manager.clone();
         mgr.chip = mgr.chip.clone().with_seed(seed);
         let mut policy = make_policy(seed);
-        run_workload(&prepared.apps, &prepared.solo_ipc, policy.as_mut(), &mgr)
+        run_workload_with_arrivals(
+            &prepared.apps,
+            &prepared.solo_ipc,
+            policy.as_mut(),
+            &mgr,
+            &prepared.workload.arrivals,
+        )
     });
 
     let tts: Vec<u64> = results.iter().map(|r| r.tt_cycles).collect();

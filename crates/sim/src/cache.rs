@@ -105,6 +105,12 @@ impl Cache {
 
     /// Looks up `addr`; on miss the line is filled (allocate-on-miss),
     /// evicting the LRU way.
+    ///
+    /// Every lookup advances the LRU clock (and `stats().accesses`), so
+    /// the access count doubles as an activity stamp: when this cache is
+    /// the shared LLC, a lookup is a cross-core *epoch event* whose global
+    /// order the horizon engines must — and do — preserve exactly (the
+    /// per-core engine cross-checks `StepOutcome::llc` against it).
     pub fn access(&mut self, addr: u64) -> Access {
         self.clock += 1;
         self.stats.accesses += 1;

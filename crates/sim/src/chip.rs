@@ -6,7 +6,7 @@ use std::collections::HashMap;
 use crate::cache::Cache;
 use crate::config::ChipConfig;
 use crate::core::Core;
-use crate::engine::{self, EngineKind};
+use crate::engine::{self, EngineKind, EngineStats};
 use crate::mem::Memory;
 use crate::pmu::PmuCounters;
 use crate::program::ThreadProgram;
@@ -40,6 +40,11 @@ pub struct Chip {
     /// `set_placement`, so the per-quantum scheduler lookups (`slot_of`,
     /// `pmu_of`, `placement`) are O(1)/O(apps) instead of O(cores × smt).
     slot_index: HashMap<usize, Slot>,
+    /// Per-core resume times, reused across `run_until` calls by the
+    /// per-core horizon engine so the quantum loop never allocates.
+    pub(crate) percore_resume: Vec<u64>,
+    /// Diagnostic stepped/elided tallies (see [`EngineStats`]).
+    pub(crate) stats: EngineStats,
 }
 
 impl Chip {
@@ -56,6 +61,8 @@ impl Chip {
             cycle: 0,
             events: Vec::new(),
             slot_index: HashMap::new(),
+            percore_resume: Vec::new(),
+            stats: EngineStats::default(),
         }
     }
 
@@ -176,7 +183,16 @@ impl Chip {
         match self.cfg.engine {
             EngineKind::Reference => engine::run_reference(self, target),
             EngineKind::Batched => engine::run_batched(self, target),
+            EngineKind::PerCore => engine::run_percore(self, target),
         }
+    }
+
+    /// Cumulative stepped/elided core-cycle tallies of the engine that has
+    /// been advancing this chip — a diagnostic of how much exact stepping
+    /// the horizon machinery avoided, never an observable of the
+    /// simulation itself.
+    pub fn engine_stats(&self) -> EngineStats {
+        self.stats
     }
 
     /// PMU counters of the thread running `app_id`.

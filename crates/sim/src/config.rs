@@ -100,7 +100,7 @@ pub struct ChipConfig {
     /// Base RNG seed; each hardware thread derives its own stream from it.
     pub seed: u64,
     /// Cycle-advancement engine used by `Chip::run_cycles`/`run_until`.
-    /// Both engines are bit-identical on every counter (enforced by the
+    /// All engines are bit-identical on every counter (enforced by the
     /// `engine_equivalence` differential wall); this is a pure performance
     /// knob and deliberately *not* part of the experiment cache key.
     pub engine: EngineKind,
@@ -171,7 +171,7 @@ impl ChipConfig {
             migration_penalty: 200,
             cache_sample: 1,
             seed: 0x5EED_CAFE,
-            engine: EngineKind::Batched,
+            engine: EngineKind::PerCore,
         }
     }
 
@@ -298,9 +298,19 @@ mod tests {
     #[test]
     fn with_engine_selects_engine() {
         let a = ChipConfig::thunderx2(4);
-        assert_eq!(a.engine, EngineKind::Batched, "batched is the default");
+        assert_eq!(a.engine, EngineKind::PerCore, "percore is the default");
         let b = a.clone().with_engine(EngineKind::Reference);
         assert_eq!(b.engine, EngineKind::Reference);
         assert_eq!(a.seed, b.seed);
+    }
+
+    #[test]
+    fn engine_names_round_trip_and_reject_unknown() {
+        for e in EngineKind::ALL {
+            assert_eq!(EngineKind::parse(e.name()), Ok(e));
+            assert_eq!(format!("{e}"), e.name());
+        }
+        let err = EngineKind::parse("warp").unwrap_err();
+        assert!(err.contains("warp") && err.contains("percore"), "{err}");
     }
 }

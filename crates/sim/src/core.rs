@@ -25,6 +25,36 @@ use crate::thread::{Completion, FetchBlock, HwThread, RobBatch};
 /// Fraction of memory µops that are loads (the rest are stores).
 const LOAD_FRACTION: f64 = 0.65;
 
+/// What one [`Core::step`] call did, as observed by the engines.
+///
+/// `active` is the inertness bit the horizon engines key on; `llc`/`dram`
+/// surface the cycle's *shared-state* touches as explicit events rather
+/// than interior side effects, so the rendezvous invariant the per-core
+/// engine relies on — an inert cycle touches no shared state — is checked
+/// structurally (`debug_assert` in every engine loop) instead of assumed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct StepOutcome {
+    /// A fetch was issued, µops dispatched or retired, or a completion
+    /// reported. `false` = the cycle was *inert* for this core: the only
+    /// state it changed is closed-form advanceable (stall counters, EWMA
+    /// decay, timing wheels), which is what lets the horizon engines jump
+    /// over stretches of them (see `crate::engine`).
+    pub active: bool,
+    /// The shared LLC was looked up (hit, fill or bypassed probe — every
+    /// variant moves its LRU clock and stats).
+    pub llc: bool,
+    /// The shared memory model served an access (queue occupancy and the
+    /// timing wheel advanced).
+    pub dram: bool,
+}
+
+impl StepOutcome {
+    /// True when the step interacted with any cross-core shared state.
+    pub fn touched_shared(&self) -> bool {
+        self.llc || self.dram
+    }
+}
+
 /// A physical core with `smt_ways` hardware-thread contexts.
 pub struct Core {
     pub(crate) id: usize,
@@ -88,24 +118,22 @@ impl Core {
     /// Executes one cycle. Completions (launch finishes) are appended to
     /// `events`.
     ///
-    /// Returns `true` when anything observable happened — a fetch was
-    /// issued, µops dispatched or retired, or a completion reported. A
-    /// `false` cycle is *inert*: the only state it changed is closed-form
-    /// advanceable (stall counters, EWMA decay, timing wheels), which is
-    /// what lets the batched engine jump over stretches of them (see
-    /// `crate::engine`).
-    pub fn step(
+    /// Returns a [`StepOutcome`] reporting whether anything observable
+    /// happened and whether the cycle touched the shared LLC or DRAM (the
+    /// epoch events the per-core engine's rendezvous rule is built on).
+    pub(crate) fn step(
         &mut self,
         now: u64,
         cfg: &ChipConfig,
         llc: &mut Cache,
         mem: &mut Memory,
         events: &mut Vec<Completion>,
-    ) -> bool {
-        let fetched = self.fetch_stage(now, cfg, llc, mem);
-        let dispatched = self.dispatch_stage(now, cfg, llc, mem);
+    ) -> StepOutcome {
+        let mut out = self.fetch_stage(now, cfg, llc, mem);
+        let dispatched = self.dispatch_stage(now, cfg, llc, mem, &mut out);
         let retired = self.retire_stage(now, cfg, events);
-        fetched | dispatched | retired
+        out.active |= dispatched | retired;
+        out
     }
 
     /// Earliest future cycle at which any resident thread can act again,
@@ -143,7 +171,8 @@ impl Core {
         cfg: &ChipConfig,
         llc: &mut Cache,
         mem: &mut Memory,
-    ) -> bool {
+    ) -> StepOutcome {
+        let mut out = StepOutcome::default();
         let ways = self.ctx.len();
         // Clear expired fetch blocks.
         for slot in self.ctx.iter_mut().flatten() {
@@ -171,17 +200,20 @@ impl Core {
                 let mut lat = self.l1i.latency() + self.l2.latency();
                 if self.l2.access(addr) == Access::Miss {
                     lat += llc.latency();
+                    out.llc = true;
                     if llc.access(addr) == Access::Miss {
                         lat += mem.access(now);
+                        out.dram = true;
                     }
                 }
                 t.fetch_block = FetchBlock::ICacheMiss;
                 t.fetch_block_until = now + lat as u64;
             }
             self.fetch_rr = (i + 1) % ways;
-            return true;
+            out.active = true;
+            return out;
         }
-        false
+        out
     }
 
     // --- stage 2: dispatch ----------------------------------------------
@@ -192,6 +224,7 @@ impl Core {
         cfg: &ChipConfig,
         llc: &mut Cache,
         mem: &mut Memory,
+        out: &mut StepOutcome,
     ) -> bool {
         let ways = self.ctx.len();
         let mut any_dispatch = false;
@@ -262,29 +295,30 @@ impl Core {
             let mut worst_lat: u32 = 0;
             for _ in 0..m {
                 t.sample_tick += 1;
-                let (lat, missed) =
-                    if cfg.cache_sample <= 1 || t.sample_tick % cfg.cache_sample == 0 {
-                        let addr = t.data_stream.next(&mut t.rng);
-                        t.pmu.ext.l1d_access += 1;
-                        // Streaming footprints far beyond a level bypass its
-                        // allocation (streaming-resistant replacement), so a
-                        // memory hog cannot flush its co-runner's working set.
-                        let bypass_l2 = t.phase.data_footprint > 4 * cfg.l2.size_bytes;
-                        // The LLC is shared by every thread on the chip: only
-                        // working sets that could plausibly hold a useful share
-                        // allocate; larger streams bypass so they cannot flush
-                        // the small-footprint apps that depend on it.
-                        let bypass_llc = t.phase.data_footprint > cfg.llc.size_bytes / 2;
-                        let r = data_access(l1d, l2, llc, mem, now, addr, bypass_l2, bypass_llc);
-                        if r.1 {
-                            t.pmu.ext.l1d_miss += 1;
-                        }
-                        t.last_data_latency = r.0;
-                        t.last_data_missed = r.1;
-                        r
-                    } else {
-                        (t.last_data_latency, t.last_data_missed)
-                    };
+                let (lat, missed) = if cfg.cache_sample <= 1
+                    || t.sample_tick % cfg.cache_sample == 0
+                {
+                    let addr = t.data_stream.next(&mut t.rng);
+                    t.pmu.ext.l1d_access += 1;
+                    // Streaming footprints far beyond a level bypass its
+                    // allocation (streaming-resistant replacement), so a
+                    // memory hog cannot flush its co-runner's working set.
+                    let bypass_l2 = t.phase.data_footprint > 4 * cfg.l2.size_bytes;
+                    // The LLC is shared by every thread on the chip: only
+                    // working sets that could plausibly hold a useful share
+                    // allocate; larger streams bypass so they cannot flush
+                    // the small-footprint apps that depend on it.
+                    let bypass_llc = t.phase.data_footprint > cfg.llc.size_bytes / 2;
+                    let r = data_access(l1d, l2, llc, mem, now, addr, bypass_l2, bypass_llc, out);
+                    if r.1 {
+                        t.pmu.ext.l1d_miss += 1;
+                    }
+                    t.last_data_latency = r.0;
+                    t.last_data_missed = r.1;
+                    r
+                } else {
+                    (t.last_data_latency, t.last_data_missed)
+                };
                 if missed {
                     misses += 1;
                 }
@@ -382,6 +416,8 @@ impl Core {
 /// Walks the data-cache hierarchy for one access; returns `(latency,
 /// l1_missed)`. Allocates on miss at each level unless bypassed (streaming
 /// accesses skip allocation in the outer levels; see the call site).
+/// Shared-state touches (LLC lookup, DRAM access) are recorded in `out` —
+/// they are the epoch events the per-core engine's rendezvous preserves.
 #[allow(clippy::too_many_arguments)]
 fn data_access(
     l1d: &mut Cache,
@@ -392,6 +428,7 @@ fn data_access(
     addr: u64,
     bypass_l2: bool,
     bypass_llc: bool,
+    out: &mut StepOutcome,
 ) -> (u32, bool) {
     if l1d.access(addr) == Access::Hit {
         return (l1d.latency(), false);
@@ -404,6 +441,7 @@ fn data_access(
     };
     if l2_result == Access::Miss {
         lat += llc.latency();
+        out.llc = true;
         let llc_result = if bypass_llc {
             llc.access_no_alloc(addr)
         } else {
@@ -411,6 +449,7 @@ fn data_access(
         };
         if llc_result == Access::Miss {
             lat += mem.access(now);
+            out.dram = true;
         }
     }
     (lat, true)

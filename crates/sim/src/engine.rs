@@ -1,9 +1,11 @@
 //! Cycle-advancement engines for [`Chip`]: the retained cycle-by-cycle
-//! reference loop and the batched *event-horizon* engine.
+//! reference loop, the chip-wide batched *event-horizon* engine, and the
+//! per-core horizon engine with LLC-epoch rendezvous.
 //!
-//! The horizon engine exploits a structural property of the pipeline model:
-//! in a cycle where **no** hardware thread fetches, dispatches, retires or
-//! reports a completion, the only state the reference loop mutates is
+//! The horizon engines exploit a structural property of the pipeline model:
+//! in a cycle where a core's hardware threads neither fetch, dispatch,
+//! retire nor report a completion, the only state the reference loop
+//! mutates *for that core* is
 //!
 //! * per-thread `CPU_CYCLES` plus exactly one stall counter pair (the
 //!   architectural `STALL_FRONTEND`/`STALL_BACKEND` and its extended
@@ -14,71 +16,144 @@
 //!   unobservable until the next access and advance correctly under
 //!   arbitrary jumps.
 //!
-//! Everything else — caches and their LRU clocks, RNG streams, dither
-//! accumulators, fetch round-robin, ROB/LSQ occupancy, phase state — is
-//! provably untouched. So after executing one fully-inert cycle the engine
-//! computes the *event horizon*: the earliest future cycle at which any
-//! thread can act again (ROB-head completion, I-fetch unblock, migration
-//! stall end) or the caller's quantum ends, advances all counters to it in
-//! closed form, and resumes exact stepping there. Cycles in which anything
-//! observable happens — *interaction windows* — always run through the
-//! reference `Core::step` path, which is why the two engines are
-//! bit-identical on every counter (see `docs/engine.md` and the
-//! `engine_equivalence` differential test wall).
+//! Crucially, an inert core touches **no shared state**: LLC lookups and
+//! DRAM accesses only happen on fetch or dispatch, which an inert cycle by
+//! definition does not perform ([`crate::core::StepOutcome`] surfaces the
+//! shared-state touches explicitly, and the engines assert the implication).
+//! A stalled core's evolution up to its own wake event is therefore a pure
+//! function of core-local state — independent of anything its neighbours
+//! do — which is what licenses the per-core engine to fast-forward one
+//! core while others keep stepping.
+//!
+//! Cycles in which anything observable happens — *interaction windows* —
+//! always run through the reference `Core::step` path, in reference order
+//! (ascending cycle, ascending core index within a cycle), which is why
+//! all three engines are bit-identical on every counter (see
+//! `docs/engine.md` and the `engine_equivalence` differential test wall).
 
 use crate::chip::Chip;
 use crate::thread::Completion;
 
 /// Which engine [`Chip::run_cycles`]/[`Chip::run_until`] advances time with.
 ///
-/// Both engines produce bit-identical [`crate::PmuCounters`], completions
+/// All engines produce bit-identical [`crate::PmuCounters`], completions
 /// and downstream `RunResult`s for every seed and chip size; the choice is
-/// purely a performance knob. `Batched` is the default; `Reference` retains
-/// the original loop as the differential oracle.
+/// purely a performance knob. `PerCore` is the default; `Reference` retains
+/// the original loop as the differential oracle and `Batched` the chip-wide
+/// horizon engine as the structural midpoint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EngineKind {
     /// Step every core one cycle at a time (the original loop).
     Reference,
-    /// Event-horizon engine: run inert stretches in closed form, falling
-    /// back to exact per-cycle stepping inside interaction windows.
+    /// Chip-wide event-horizon engine: when *every* core is inert, jump in
+    /// closed form to the chip-wide horizon; otherwise step exactly.
     Batched,
+    /// Per-core horizon engine: each core fast-forwards independently to
+    /// its own wake event while active cores rendezvous every cycle, so
+    /// shared-state (LLC/DRAM) interleaving is preserved exactly.
+    PerCore,
+}
+
+impl EngineKind {
+    /// Every engine, in documentation order.
+    pub const ALL: [EngineKind; 3] = [
+        EngineKind::Reference,
+        EngineKind::Batched,
+        EngineKind::PerCore,
+    ];
+
+    /// Stable lowercase name (CLI flags, bench labels, reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Reference => "reference",
+            EngineKind::Batched => "batched",
+            EngineKind::PerCore => "percore",
+        }
+    }
+
+    /// Inverse of [`EngineKind::name`]. Returns a descriptive error naming
+    /// the valid engines, so CLI callers never default silently.
+    pub fn parse(name: &str) -> Result<EngineKind, String> {
+        match name {
+            "reference" => Ok(EngineKind::Reference),
+            "batched" => Ok(EngineKind::Batched),
+            // `batched_percore` is the Criterion label of the percore
+            // target; accept it as an alias.
+            "percore" | "per-core" | "batched_percore" => Ok(EngineKind::PerCore),
+            other => Err(format!(
+                "unknown engine '{other}' (valid: reference, batched, percore)"
+            )),
+        }
+    }
+}
+
+impl std::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Diagnostic tallies of how an engine advanced time, accumulated across
+/// `run_until` calls. Core-cycles are counted per (core, cycle) pair:
+/// `stepped + elided` equals `cores × cycles simulated` for every engine,
+/// and the split shows how much work the horizon machinery avoided. Not an
+/// observable of the simulation (never part of the equivalence contract).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Core-cycles executed through the exact per-cycle step path.
+    pub stepped: u64,
+    /// Core-cycles advanced in closed form (fast-forwarded).
+    pub elided: u64,
 }
 
 /// The retained reference loop: every cycle steps every core.
 pub(crate) fn run_reference(chip: &mut Chip, end: u64) -> Vec<Completion> {
+    let start = chip.cycle;
     while chip.cycle < end {
         chip.mem.tick(chip.cycle);
         for core in &mut chip.cores {
-            core.step(
+            let out = core.step(
                 chip.cycle,
                 &chip.cfg,
                 &mut chip.llc,
                 &mut chip.mem,
                 &mut chip.events,
+            );
+            debug_assert!(
+                out.active || !out.touched_shared(),
+                "inert step touched shared LLC/DRAM state"
             );
         }
         chip.cycle += 1;
     }
+    chip.stats.stepped += (end.saturating_sub(start)) * chip.cores.len() as u64;
     std::mem::take(&mut chip.events)
 }
 
-/// The event-horizon engine. Identical to [`run_reference`] except that a
-/// cycle reported inert by every core is followed by a closed-form jump to
-/// the next horizon event.
+/// The chip-wide event-horizon engine. Identical to [`run_reference`]
+/// except that a cycle reported inert by every core is followed by a
+/// closed-form jump to the next chip-wide horizon event.
 pub(crate) fn run_batched(chip: &mut Chip, end: u64) -> Vec<Completion> {
+    let n_cores = chip.cores.len() as u64;
     while chip.cycle < end {
         chip.mem.tick(chip.cycle);
         let mut active = false;
         for core in &mut chip.cores {
-            active |= core.step(
+            let out = core.step(
                 chip.cycle,
                 &chip.cfg,
                 &mut chip.llc,
                 &mut chip.mem,
                 &mut chip.events,
             );
+            debug_assert!(
+                out.active || !out.touched_shared(),
+                "inert step touched shared LLC/DRAM state"
+            );
+            active |= out.active;
         }
         chip.cycle += 1;
+        chip.stats.stepped += n_cores;
         if !active {
             let horizon = horizon(chip, end);
             if horizon > chip.cycle {
@@ -87,9 +162,93 @@ pub(crate) fn run_batched(chip: &mut Chip, end: u64) -> Vec<Completion> {
                     core.fast_forward(n, chip.cycle, &chip.cfg);
                 }
                 chip.cycle = horizon;
+                chip.stats.elided += n * n_cores;
             }
         }
     }
+    std::mem::take(&mut chip.events)
+}
+
+/// The per-core horizon engine with shared-state rendezvous epochs.
+///
+/// Each core carries its own *resume* time: the first cycle at which it
+/// must be stepped exactly again. A core whose step comes back inert
+/// immediately fast-forwards — in the same closed form the batched engine
+/// uses — to `min(own wake event, quantum end)` and is skipped until then;
+/// a core that acted is due again next cycle. The global clock advances to
+/// the earliest resume time (the *epoch rendezvous*), so every cycle in
+/// which *any* core can touch the shared LLC, the DRAM timing wheel or
+/// report a completion is executed exactly, with the cores stepped in
+/// reference order. Shared-state interleaving — LLC LRU/fill order, DRAM
+/// queue occupancy, completion order — is therefore bit-identical to the
+/// reference loop, while stalled or empty cores cost nothing during their
+/// windows even when their neighbours stay busy (the full-chip regime).
+pub(crate) fn run_percore(chip: &mut Chip, end: u64) -> Vec<Completion> {
+    let n_cores = chip.cores.len();
+    let mut resume = std::mem::take(&mut chip.percore_resume);
+    resume.clear();
+    resume.resize(n_cores, chip.cycle);
+    let (mut stepped, mut elided) = (0u64, 0u64);
+    while chip.cycle < end {
+        // Rendezvous: the next epoch is the earliest cycle any core needs
+        // exact stepping; every skipped core is already accounted through
+        // its resume time.
+        let next = resume.iter().copied().min().unwrap_or(end);
+        if next >= end {
+            break;
+        }
+        let now = next.max(chip.cycle);
+        chip.mem.tick(now);
+        for (core, due) in chip.cores.iter_mut().zip(resume.iter_mut()) {
+            if *due > now {
+                continue;
+            }
+            stepped += 1;
+            #[cfg(debug_assertions)]
+            let before = (chip.llc.stats().accesses, chip.mem.accesses());
+            let out = core.step(
+                now,
+                &chip.cfg,
+                &mut chip.llc,
+                &mut chip.mem,
+                &mut chip.events,
+            );
+            // The rendezvous rule is only sound if `StepOutcome` reports
+            // shared-state touches faithfully; cross-check the flags
+            // against the LLC lookup clock and the DRAM access count so a
+            // future model change cannot silently undermine it.
+            #[cfg(debug_assertions)]
+            {
+                let after = (chip.llc.stats().accesses, chip.mem.accesses());
+                debug_assert_eq!(out.llc, after.0 != before.0, "LLC touch misreported");
+                debug_assert_eq!(out.dram, after.1 != before.1, "DRAM touch misreported");
+            }
+            debug_assert!(
+                out.active || !out.touched_shared(),
+                "inert step touched shared LLC/DRAM state"
+            );
+            *due = if out.active {
+                now + 1
+            } else {
+                // Every wake event is strictly future (an arrived event
+                // would have made the cycle active), so the window below
+                // never truncates an interaction; clamp defensively anyway.
+                let wake = core.wake_event(&chip.cfg.core).min(end).max(now + 1);
+                if wake > now + 1 {
+                    core.fast_forward(wake - (now + 1), now + 1, &chip.cfg);
+                    elided += wake - (now + 1);
+                }
+                wake
+            };
+        }
+        chip.cycle = now + 1;
+    }
+    // Loop exit means every core's resume time reached `end` (wake events
+    // are clamped there), i.e. all cores are advanced through `end - 1`.
+    chip.cycle = chip.cycle.max(end);
+    chip.stats.stepped += stepped;
+    chip.stats.elided += elided;
+    chip.percore_resume = resume;
     std::mem::take(&mut chip.events)
 }
 
@@ -104,4 +263,85 @@ fn horizon(chip: &Chip, end: u64) -> u64 {
         h = h.min(core.wake_event(&chip.cfg.core));
     }
     h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{PhaseParams, UniformProgram};
+    use crate::{Chip, ChipConfig, Slot};
+
+    /// Memory-bound demand: long DRAM stalls, lots of inert cycles.
+    fn mem_phase() -> PhaseParams {
+        PhaseParams {
+            mem_ratio: 0.45,
+            data_footprint: 16 << 20,
+            data_seq: 0.05,
+            code_footprint: 1024,
+            code_hot: 1.0,
+            br_misp_rate: 0.0002,
+            exec_latency: 1,
+            mlp: 0.3,
+        }
+    }
+
+    fn chip(engine: EngineKind, apps: usize, cores: u32) -> Chip {
+        let mut chip = Chip::new(ChipConfig::thunderx2(cores).with_engine(engine));
+        for i in 0..apps {
+            chip.attach(
+                Slot(i),
+                i,
+                Box::new(UniformProgram::new(format!("p{i}"), mem_phase(), u64::MAX)),
+            );
+        }
+        chip
+    }
+
+    #[test]
+    fn stats_partition_every_core_cycle() {
+        // For every engine, each (core, cycle) pair is either stepped
+        // exactly or advanced in closed form — never both, never neither.
+        for engine in EngineKind::ALL {
+            let mut c = chip(engine, 3, 4);
+            c.run_cycles(10_000);
+            c.run_cycles(2_500);
+            let s = c.engine_stats();
+            assert_eq!(s.stepped + s.elided, 4 * 12_500, "{engine}: {s:?}");
+        }
+    }
+
+    #[test]
+    fn reference_never_elides_and_percore_elides_most() {
+        let elided = |engine| {
+            let mut c = chip(engine, 2, 4);
+            c.run_cycles(20_000);
+            c.engine_stats()
+        };
+        let r = elided(EngineKind::Reference);
+        let b = elided(EngineKind::Batched);
+        let p = elided(EngineKind::PerCore);
+        assert_eq!(r.elided, 0);
+        assert!(
+            p.elided >= b.elided,
+            "percore {p:?} must elide at least as much as batched {b:?}"
+        );
+        // Both threads sit on core 0; cores 1-3 are empty for the whole
+        // run, and only the per-core engine can skip them while core 0 is
+        // busy (the batched engine's chip-wide horizon cannot).
+        assert!(
+            p.elided >= 3 * 19_000,
+            "empty cores must be skipped wholesale: {p:?}"
+        );
+    }
+
+    #[test]
+    fn percore_resume_buffer_is_reused_across_quanta() {
+        let mut c = chip(EngineKind::PerCore, 2, 4);
+        c.run_cycles(1_000);
+        let cap = c.percore_resume.capacity();
+        for _ in 0..50 {
+            c.run_cycles(1_000);
+        }
+        assert_eq!(c.percore_resume.capacity(), cap, "no reallocation");
+    }
 }

@@ -50,7 +50,7 @@ pub use cache::{Access, Cache, CacheStats};
 pub use chip::{Chip, Slot};
 pub use config::{CacheConfig, ChipConfig, CoreConfig};
 pub use core::Core;
-pub use engine::EngineKind;
+pub use engine::{EngineKind, EngineStats};
 pub use mem::Memory;
 pub use pmu::{Event, ExtCounters, PmuCounters, PmuDelta};
 pub use program::{PhaseParams, ThreadProgram, UniformProgram};

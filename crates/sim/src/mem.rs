@@ -37,21 +37,20 @@ impl Memory {
     }
 
     /// Advances the wheel to `cycle`, retiring completed accesses.
+    ///
+    /// The wheel's total content equals `outstanding` (completions are
+    /// registered and retired in lockstep), so an idle memory — whether
+    /// idle on entry or drained mid-walk — jumps to `cycle` in O(1). The
+    /// horizon engines lean on this: after a long elided stretch the walk
+    /// costs only as many steps as there were completions to retire.
     pub fn tick(&mut self, cycle: u64) {
-        if self.outstanding == 0 {
-            // The wheel's total content equals `outstanding` (completions
-            // are registered and retired in lockstep), so an idle memory
-            // jumps to `cycle` in O(1) — the path the horizon engine takes
-            // after a long inert stretch.
-            self.now = self.now.max(cycle);
-            return;
-        }
-        while self.now < cycle {
+        while self.outstanding > 0 && self.now < cycle {
             self.now += 1;
             let slot = (self.now as usize) & (WHEEL - 1);
             self.outstanding = self.outstanding.saturating_sub(self.wheel[slot]);
             self.wheel[slot] = 0;
         }
+        self.now = self.now.max(cycle);
     }
 
     /// Issues an access at `cycle`, returning its latency in cycles.

@@ -217,16 +217,15 @@ impl HwThread {
     }
 
     /// Advances the MSHR fill wheel to `now`, releasing completed fills.
+    ///
+    /// `outstanding_misses` equals the wheel's total content (fills are
+    /// registered and released in lockstep), so a wheel that is idle — on
+    /// entry or once the walk drains the last fill — jumps straight to
+    /// `now` without touching empty slots. The horizon engines rely on
+    /// this: waking from a long elided stall costs O(fills released), not
+    /// O(window length).
     pub(crate) fn tick_mshr(&mut self, now: u64) {
-        if self.outstanding_misses == 0 {
-            // `outstanding_misses` equals the wheel's total content (fills
-            // are registered and released in lockstep), so an idle wheel can
-            // jump to `now` without walking empty slots — the O(1) path the
-            // horizon engine relies on after long inert stretches.
-            self.mshr_tick = self.mshr_tick.max(now);
-            return;
-        }
-        while self.mshr_tick < now {
+        while self.outstanding_misses > 0 && self.mshr_tick < now {
             self.mshr_tick += 1;
             let slot = (self.mshr_tick as usize) & (MSHR_WHEEL - 1);
             self.outstanding_misses = self
@@ -234,6 +233,7 @@ impl HwThread {
                 .saturating_sub(u32::from(self.mshr_wheel[slot]));
             self.mshr_wheel[slot] = 0;
         }
+        self.mshr_tick = self.mshr_tick.max(now);
     }
 
     /// Updates the DRAM-demand EWMA with this cycle's DRAM fills.

@@ -51,8 +51,8 @@ pub mod prelude {
     pub use synpa_model::training::{train, TrainingConfig};
     pub use synpa_model::{Categories, SynpaModel};
     pub use synpa_sched::{
-        prepare_workload, run_cell, run_workload, ExperimentConfig, LinuxLike, ManagerConfig,
-        OracleSynpa, Policy, RandomPairing, Synpa,
+        prepare_workload, run_cell, run_workload, run_workload_with_arrivals, ExperimentConfig,
+        LinuxLike, ManagerConfig, OracleSynpa, Policy, RandomPairing, Synpa,
     };
     pub use synpa_sim::{Chip, ChipConfig, EngineKind, PmuCounters, Slot};
 }

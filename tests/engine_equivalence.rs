@@ -1,11 +1,13 @@
-//! Differential test wall for the event-horizon engine.
+//! Differential test wall for the horizon engines.
 //!
-//! The batched engine's contract is *bit-identity*: for every seed, chip
-//! size and workload, `EngineKind::Batched` must produce exactly the same
-//! PMU counters, completions, placements and `RunResult`s as the retained
-//! `EngineKind::Reference` cycle-by-cycle loop. These tests run both
-//! engines side by side over unit scenarios, full 28-core/56-thread chips,
-//! whole managed workload runs, and proptest-randomized demand mixes.
+//! The horizon engines' contract is *bit-identity*: for every seed, chip
+//! size and workload, `EngineKind::Batched` (chip-wide horizon) and
+//! `EngineKind::PerCore` (per-core horizons with LLC-epoch rendezvous)
+//! must produce exactly the same PMU counters, completions, placements
+//! and `RunResult`s as the retained `EngineKind::Reference` cycle-by-cycle
+//! loop. These tests run all engines side by side over unit scenarios,
+//! full 28-core/56-thread chips, partial-occupancy and staggered-arrival
+//! managed runs, and proptest-randomized demand mixes.
 
 use proptest::prelude::*;
 use synpa::prelude::*;
@@ -63,26 +65,37 @@ fn build(cfg: &ChipConfig, apps: &[(PhaseParams, u64)]) -> Chip {
     chip
 }
 
-/// Runs the same chunk schedule under both engines and asserts every
-/// observable matches: per-chunk completions, final cycle, final placement
-/// and every field of every thread's PMU. `swap` optionally exchanges the
-/// slots of two apps after the given chunk, exercising the migration path.
+/// Runs the same chunk schedule under every engine and asserts every
+/// observable matches the reference loop: per-chunk completions, final
+/// cycle, final placement and every field of every thread's PMU. `swap`
+/// optionally exchanges the slots of two apps after the given chunk,
+/// exercising the migration path.
 fn assert_equivalent(
     cfg: &ChipConfig,
     apps: &[(PhaseParams, u64)],
     chunks: &[u64],
     swap: Option<(usize, usize, usize)>,
 ) {
-    let mut reference = build(&cfg.clone().with_engine(EngineKind::Reference), apps);
-    let mut batched = build(&cfg.clone().with_engine(EngineKind::Batched), apps);
+    let mut chips: Vec<Chip> = EngineKind::ALL
+        .iter()
+        .map(|&e| build(&cfg.clone().with_engine(e), apps))
+        .collect();
     for (k, &n) in chunks.iter().enumerate() {
-        let ev_ref = reference.run_cycles(n);
-        let ev_bat = batched.run_cycles(n);
-        assert_eq!(ev_ref, ev_bat, "completions diverged in chunk {k}");
-        assert_eq!(reference.cycle(), batched.cycle());
+        let mut events = Vec::new();
+        for (chip, &engine) in chips.iter_mut().zip(&EngineKind::ALL) {
+            events.push((engine, chip.run_cycles(n)));
+        }
+        for (engine, ev) in &events[1..] {
+            assert_eq!(
+                &events[0].1, ev,
+                "completions diverged from reference in chunk {k} ({engine})"
+            );
+        }
+        let cycle = chips[0].cycle();
+        assert!(chips.iter().all(|c| c.cycle() == cycle));
         if let Some((after, a, b)) = swap {
             if after == k && a < apps.len() && b < apps.len() && a != b {
-                for chip in [&mut reference, &mut batched] {
+                for chip in &mut chips {
                     let sa = chip.slot_of(a).unwrap();
                     let sb = chip.slot_of(b).unwrap();
                     chip.set_placement(&[(a, sb), (b, sa)]);
@@ -90,14 +103,18 @@ fn assert_equivalent(
             }
         }
     }
-    assert_eq!(reference.placement(), batched.placement());
-    for i in 0..apps.len() {
-        assert_eq!(
-            reference.pmu_of(i).unwrap(),
-            batched.pmu_of(i).unwrap(),
-            "PMU counters diverged for app {i}"
-        );
-        assert_eq!(reference.launches_of(i), batched.launches_of(i));
+    let (reference, others) = chips.split_first().unwrap();
+    for (j, other) in others.iter().enumerate() {
+        let engine = EngineKind::ALL[j + 1];
+        assert_eq!(reference.placement(), other.placement(), "{engine}");
+        for i in 0..apps.len() {
+            assert_eq!(
+                reference.pmu_of(i).unwrap(),
+                other.pmu_of(i).unwrap(),
+                "PMU counters diverged for app {i} ({engine})"
+            );
+            assert_eq!(reference.launches_of(i), other.launches_of(i), "{engine}");
+        }
     }
 }
 
@@ -224,10 +241,64 @@ fn run_fingerprint(engine: EngineKind, policy_seed: u64) -> String {
 fn managed_workload_run_is_bit_identical() {
     // RandomPairing migrates threads every quantum, so this covers the
     // whole manager loop: sampling, placement changes, completions.
-    assert_eq!(
-        run_fingerprint(EngineKind::Reference, 7),
-        run_fingerprint(EngineKind::Batched, 7)
-    );
+    let reference = run_fingerprint(EngineKind::Reference, 7);
+    assert_eq!(reference, run_fingerprint(EngineKind::Batched, 7));
+    assert_eq!(reference, run_fingerprint(EngineKind::PerCore, 7));
+}
+
+/// Fingerprint of a managed run with partial occupancy and/or staggered
+/// arrivals (the scenario-diversity regimes where the per-core engine
+/// skips whole cores for long stretches).
+fn arrivals_fingerprint(
+    engine: EngineKind,
+    names: &[&str],
+    arrivals: &[u64],
+    cores: u32,
+    policy_seed: u64,
+) -> String {
+    let apps: Vec<AppProfile> = names
+        .iter()
+        .map(|n| spec::by_name(n).unwrap().with_length(25_000))
+        .collect();
+    let solo = vec![1.0; apps.len()];
+    let cfg = ManagerConfig {
+        chip: ChipConfig::thunderx2(cores).with_engine(engine),
+        ..Default::default()
+    };
+    let mut policy = RandomPairing::new(policy_seed);
+    let result: RunResult = run_workload_with_arrivals(&apps, &solo, &mut policy, &cfg, arrivals);
+    format!("{result:?}")
+}
+
+#[test]
+fn partial_occupancy_managed_run_is_bit_identical() {
+    // 4 apps on a 4-core/8-thread chip: half the cores are empty all run,
+    // exactly where the per-core engine elides the most.
+    let names = ["mcf", "gobmk", "hmmer", "astar"];
+    let reference = arrivals_fingerprint(EngineKind::Reference, &names, &[], 4, 3);
+    for engine in [EngineKind::Batched, EngineKind::PerCore] {
+        assert_eq!(
+            reference,
+            arrivals_fingerprint(engine, &names, &[], 4, 3),
+            "{engine}"
+        );
+    }
+}
+
+#[test]
+fn phase_shifted_managed_run_is_bit_identical() {
+    // Three two-app waves on a 4-core chip: cores fill in waves and the
+    // thread count changes mid-run (attach path under every engine).
+    let names = ["mcf", "xalancbmk_r", "gobmk", "perlbench", "nab_r", "hmmer"];
+    let arrivals = [0, 0, 20_000, 20_000, 45_000, 45_000];
+    let reference = arrivals_fingerprint(EngineKind::Reference, &names, &arrivals, 4, 9);
+    for engine in [EngineKind::Batched, EngineKind::PerCore] {
+        assert_eq!(
+            reference,
+            arrivals_fingerprint(engine, &names, &arrivals, 4, 9),
+            "{engine}"
+        );
+    }
 }
 
 fn arb_phase() -> impl Strategy<Value = PhaseParams> {
@@ -255,6 +326,43 @@ fn arb_phase() -> impl Strategy<Value = PhaseParams> {
                 }
             },
         )
+}
+
+proptest! {
+    // Each case runs three whole managed workloads, so fewer cases than
+    // the chip-level proptest below.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Managed runs over randomized occupancy and arrival waves: every
+    // engine must agree on the whole `RunResult` when the chip is
+    // underfilled and threads arrive in staggered even waves.
+    #[test]
+    fn engines_agree_on_partial_and_staggered_runs(
+        cores in 2u32..5,
+        pairs in 1usize..4,
+        wave_gap in 1u64..30_000,
+        app_pick in 0usize..1000,
+        policy_seed in 0u64..1_000_000,
+    ) {
+        let pool = [
+            "mcf", "xalancbmk_r", "gobmk", "perlbench", "nab_r", "hmmer",
+            "leela_r", "astar", "milc", "lbm_r",
+        ];
+        let slots = cores as usize * 2;
+        let n = (2 * pairs).min(slots);
+        let names: Vec<&str> = (0..n).map(|k| pool[(app_pick + 3 * k) % pool.len()]).collect();
+        // Waves of two apps each, `wave_gap` cycles apart.
+        let arrivals: Vec<u64> = (0..n).map(|k| (k / 2) as u64 * wave_gap).collect();
+        let reference =
+            arrivals_fingerprint(EngineKind::Reference, &names, &arrivals, cores, policy_seed);
+        for engine in [EngineKind::Batched, EngineKind::PerCore] {
+            prop_assert_eq!(
+                &reference,
+                &arrivals_fingerprint(engine, &names, &arrivals, cores, policy_seed),
+                "{}", engine
+            );
+        }
+    }
 }
 
 proptest! {
