@@ -56,12 +56,25 @@ pub struct Workload {
     /// sharing an arrival cycle form one *wave*; waves must be even-sized
     /// so SMT pairing policies always see an even thread count.
     pub arrivals: Vec<u64>,
+    /// Per-app launch-target scale, parallel to `apps`. Empty means every
+    /// app keeps its calibrated target (scale 1.0, the paper's
+    /// methodology). Calibration still measures each app in isolation over
+    /// the standard window; the scale then multiplies the resulting target,
+    /// so a heterogeneous workload mixes short and long launches on one
+    /// chip — short apps complete and relaunch early while long apps keep
+    /// running, decorrelating per-core activity.
+    pub target_scale: Vec<f64>,
 }
 
 impl Workload {
     /// Arrival cycle of app `k` (0 when arrivals are unset).
     pub fn arrival(&self, k: usize) -> u64 {
         self.arrivals.get(k).copied().unwrap_or(0)
+    }
+
+    /// Launch-target scale of app `k` (1.0 when scales are unset).
+    pub fn target_scale(&self, k: usize) -> f64 {
+        self.target_scale.get(k).copied().unwrap_or(1.0)
     }
 }
 
@@ -136,6 +149,7 @@ pub fn random_workload(name: &str, kind: WorkloadKind, size: usize, seed: u64) -
         kind,
         apps: sized_workload(&mut rng, kind, size),
         arrivals: Vec::new(),
+        target_scale: Vec::new(),
     }
 }
 
@@ -183,6 +197,35 @@ pub fn phase_shifted_workload(
     let per_wave = size / waves;
     w.arrivals = (0..size)
         .map(|k| (k / per_wave) as u64 * wave_gap)
+        .collect();
+    w
+}
+
+/// A heterogeneous-launch-target workload: the same app mix as
+/// [`random_workload`] for the same `(kind, size, seed)`, with per-app
+/// launch targets alternating `small`/`large` multiples of the calibrated
+/// target in arrival order. Half the chip runs short launches that
+/// complete and relaunch early while the other half runs long ones, so
+/// completion traffic, relaunch phases and per-core activity stay
+/// decorrelated for the entire run — the ROADMAP's "heterogeneous launch
+/// targets" regime, and a steady source of mid-burst completion parks for
+/// the burst engine. Scales layer on top of the app mix (they do not
+/// disturb the RNG stream), mirroring how arrivals are layered.
+pub fn heterogeneous_workload(
+    name: &str,
+    kind: WorkloadKind,
+    size: usize,
+    small: f64,
+    large: f64,
+    seed: u64,
+) -> Workload {
+    assert!(
+        small > 0.0 && large > 0.0,
+        "launch-target scales must be positive: {small}/{large}"
+    );
+    let mut w = random_workload(name, kind, size, seed);
+    w.target_scale = (0..size)
+        .map(|k| if k % 2 == 0 { small } else { large })
         .collect();
     w
 }
@@ -238,6 +281,7 @@ pub fn standard_suite() -> Vec<Workload> {
             kind: WorkloadKind::BackendIntensive,
             apps,
             arrivals: Vec::new(),
+            target_scale: Vec::new(),
         });
     }
     for i in 0..5 {
@@ -261,6 +305,7 @@ pub fn standard_suite() -> Vec<Workload> {
             kind: WorkloadKind::FrontendIntensive,
             apps,
             arrivals: Vec::new(),
+            target_scale: Vec::new(),
         });
     }
     for i in 0..10 {
@@ -285,6 +330,7 @@ pub fn standard_suite() -> Vec<Workload> {
             kind: WorkloadKind::Mixed,
             apps,
             arrivals: Vec::new(),
+            target_scale: Vec::new(),
         });
     }
     out
@@ -470,6 +516,27 @@ mod tests {
     #[should_panic(expected = "waves")]
     fn uneven_waves_panic() {
         phase_shifted_workload("bad", WorkloadKind::Mixed, 8, 3, 1_000, 1);
+    }
+
+    #[test]
+    fn heterogeneous_workload_alternates_target_scales() {
+        let w = heterogeneous_workload("het", WorkloadKind::Mixed, 56, 0.5, 2.0, 11);
+        assert_eq!(w.apps.len(), 56);
+        assert_eq!(w.target_scale.len(), 56);
+        for k in 0..56 {
+            let expect = if k % 2 == 0 { 0.5 } else { 2.0 };
+            assert_eq!(w.target_scale(k), expect, "app {k}");
+        }
+        // Scales layer on top of the mix: the apps match the plain twin.
+        let plain = random_workload("het", WorkloadKind::Mixed, 56, 11);
+        assert_eq!(w.apps, plain.apps);
+        assert_eq!(plain.target_scale(7), 1.0, "unset scales default to 1.0");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_target_scale_panics() {
+        heterogeneous_workload("bad", WorkloadKind::Mixed, 8, 0.0, 2.0, 1);
     }
 
     #[test]

@@ -1,23 +1,41 @@
 //! Simulator throughput: cycles simulated per second for a single thread,
 //! an SMT pair, the full 4-core evaluation chip and the 28-core/56-thread
-//! full machine — plus a three-way engine comparison (reference vs.
-//! chip-wide batched vs. per-core horizons) on the 8-app and 56-app chips
-//! so the horizon wins are tracked in BASELINES.md.
+//! full machine — plus a four-way engine comparison (reference vs.
+//! chip-wide batched vs. per-core horizons vs. private bursts) on the
+//! 8-app and 56-app chips so the horizon wins are tracked in BASELINES.md.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 use synpa::prelude::*;
 use synpa::sim::{EngineKind, PhaseParams, UniformProgram};
 
-fn chip_with(n_apps: usize, cores: u32, engine: EngineKind) -> Chip {
+/// The LLC-thrashing mix of the classic `simulator/*` rows: every L1D
+/// miss escalates past the (bypassed) L2 into the shared LLC, so the
+/// burst engine's probe gating matters and private bursts are rare.
+fn llc_params() -> PhaseParams {
+    PhaseParams {
+        mem_ratio: 0.3,
+        data_footprint: 256 << 10,
+        data_seq: 0.4,
+        ..PhaseParams::compute()
+    }
+}
+
+/// Compute-bound, private-cache-resident mix: long private phases with
+/// rare LLC touches — the regime the private-burst engine decouples from
+/// the global clock entirely.
+fn private_params() -> PhaseParams {
+    PhaseParams {
+        mem_ratio: 0.25,
+        data_footprint: 16 << 10,
+        data_seq: 0.7,
+        ..PhaseParams::compute()
+    }
+}
+
+fn chip_with(n_apps: usize, cores: u32, engine: EngineKind, params: PhaseParams) -> Chip {
     let mut chip = Chip::new(ChipConfig::thunderx2(cores).with_engine(engine));
     for i in 0..n_apps {
-        let params = PhaseParams {
-            mem_ratio: 0.3,
-            data_footprint: 256 << 10,
-            data_seq: 0.4,
-            ..PhaseParams::compute()
-        };
         chip.attach(
             Slot(i),
             i,
@@ -42,7 +60,12 @@ fn sim_throughput(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
             // The `simulator/*` rows always run the workspace default
             // engine, so BASELINES.md tracks what users actually get.
-            let mut chip = chip_with(apps, cores, ChipConfig::thunderx2(cores).engine);
+            let mut chip = chip_with(
+                apps,
+                cores,
+                ChipConfig::thunderx2(cores).engine,
+                llc_params(),
+            );
             b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
         });
     }
@@ -53,17 +76,50 @@ fn engine_comparison(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine");
     group.throughput(Throughput::Elements(CYCLES));
     // `batched_percore` is the per-core horizon engine on the same 8-app
-    // scenario; the `_56` rows isolate the full-chip regime the per-core
-    // rendezvous was built for (most cores busy, stalls uncorrelated).
-    for (label, engine, apps, cores) in [
-        ("reference", EngineKind::Reference, 8usize, 4u32),
-        ("batched", EngineKind::Batched, 8, 4),
-        ("batched_percore", EngineKind::PerCore, 8, 4),
-        ("batched_56", EngineKind::Batched, 56, 28),
-        ("batched_percore_56", EngineKind::PerCore, 56, 28),
+    // scenario; `burst` the private-burst engine; the `_56` rows isolate
+    // the full-chip regime the per-core rendezvous and bursts were built
+    // for (most cores busy, stalls uncorrelated). The `sparse_*_56` pair
+    // runs a private-cache-resident 8-app mix on the otherwise idle
+    // 28-core machine — the burst engine's best case: active cores run
+    // decoupled from the global clock between their rare shared-state
+    // touches, so the per-cycle rendezvous sweep disappears entirely.
+    for (label, engine, apps, cores, params) in [
+        (
+            "reference",
+            EngineKind::Reference,
+            8usize,
+            4u32,
+            llc_params(),
+        ),
+        ("batched", EngineKind::Batched, 8, 4, llc_params()),
+        ("batched_percore", EngineKind::PerCore, 8, 4, llc_params()),
+        ("burst", EngineKind::Burst, 8, 4, llc_params()),
+        ("batched_56", EngineKind::Batched, 56, 28, llc_params()),
+        (
+            "batched_percore_56",
+            EngineKind::PerCore,
+            56,
+            28,
+            llc_params(),
+        ),
+        ("burst_56", EngineKind::Burst, 56, 28, llc_params()),
+        (
+            "sparse_percore_56",
+            EngineKind::PerCore,
+            8,
+            28,
+            private_params(),
+        ),
+        (
+            "sparse_burst_56",
+            EngineKind::Burst,
+            8,
+            28,
+            private_params(),
+        ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &(), |b, _| {
-            let mut chip = chip_with(apps, cores, engine);
+            let mut chip = chip_with(apps, cores, engine, params);
             b.iter(|| black_box(chip.run_cycles(CYCLES).len()))
         });
     }

@@ -18,12 +18,15 @@
 //! exercised end-to-end on every PR in well under a minute.
 //!
 //! Beyond the classic everyone-arrives-at-once mixes, the scenario table
-//! always includes two diversity scenarios (`fcpart`, `fcwave`): a
-//! half-occupied chip (28 apps on 56 threads, whole cores idle all run)
-//! and a phase-shifted workload whose 56 apps arrive in four waves — the
-//! partial-activity regimes where the per-core horizon engine pays off.
-//! `--engine` selects the cycle-advancement engine; all engines produce
-//! byte-identical scenario tables (CI diffs them on every PR).
+//! always includes three diversity scenarios (`fcpart`, `fcwave`,
+//! `fchet`): a half-occupied chip (28 apps on 56 threads, whole cores idle
+//! all run), a phase-shifted workload whose 56 apps arrive in four waves,
+//! and a heterogeneous-launch-target workload mixing half-length and
+//! double-length launches on one chip — the partial- and decorrelated-
+//! activity regimes where the per-core horizon and burst engines pay off.
+//! `--engine` selects the cycle-advancement engine (`SYNPA_ENGINE` pins it
+//! environment-wide); all engines produce byte-identical scenario tables
+//! (CI diffs them on every PR).
 
 use std::time::Instant;
 use synpa::metrics::{antt, fairness, stp, tt_speedup, workload_ipc};
@@ -37,7 +40,7 @@ fn usage(reason: &str) -> ! {
     eprintln!("error: {reason}");
     eprintln!(
         "usage: full_chip [--smoke] [--workloads N] [--reps N] \
-         [--engine reference|batched|percore]"
+         [--engine reference|batched|percore|burst]"
     );
     std::process::exit(2)
 }
@@ -102,7 +105,9 @@ fn main() {
     // fill up and drain in waves). Both leave large parts of the chip
     // inactive for long stretches — the regime the per-core horizon
     // engine was built for — and both are measured like any other cell.
-    use synpa::apps::workload::{partial_occupancy_workload, phase_shifted_workload, WorkloadKind};
+    use synpa::apps::workload::{
+        heterogeneous_workload, partial_occupancy_workload, phase_shifted_workload, WorkloadKind,
+    };
     workloads.push(partial_occupancy_workload(
         "fcpart",
         WorkloadKind::Mixed,
@@ -117,6 +122,17 @@ fn main() {
         4,
         40_000,
         0xF0C3,
+    ));
+    // Heterogeneous launch targets (ROADMAP): half-length and double-length
+    // launches interleaved in arrival order, so relaunch cadence and
+    // completion traffic stay decorrelated across the chip all run.
+    workloads.push(heterogeneous_workload(
+        "fchet",
+        WorkloadKind::Mixed,
+        size,
+        0.5,
+        2.0,
+        0xF0C4,
     ));
     // Smoke runs use the canned model so CI never pays for training.
     let model = if smoke {
@@ -133,8 +149,8 @@ fn main() {
     };
 
     println!(
-        "full chip: {} workloads x {} apps (+ fcpart {}-app / fcwave 4-wave scenarios) \
-         on 28 cores / 56 threads, {} reps, {} workers, {} engine{}",
+        "full chip: {} workloads x {} apps (+ fcpart {}-app / fcwave 4-wave / fchet \
+         0.5x-2x-target scenarios) on 28 cores / 56 threads, {} reps, {} workers, {} engine{}",
         n_workloads,
         size,
         size / 2,

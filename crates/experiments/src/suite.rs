@@ -220,6 +220,17 @@ pub fn cell_key(
             h = fnv1a(h, &a.to_le_bytes());
         }
     }
+    // Launch-target scales change every measured quantity the same way
+    // arrivals do (targets define TT and relaunch cadence), so scaled
+    // workloads must never share cells with their calibrated-only twins.
+    // Unit scales hash like an empty vector, keeping plain keys stable.
+    for k in 0..workload.apps.len() {
+        let s = workload.target_scale(k);
+        if s != 1.0 {
+            h = fnv1a(h, &(k as u64).to_le_bytes());
+            h = fnv1a(h, &s.to_bits().to_le_bytes());
+        }
+    }
     let mut hashed: Vec<&str> = Vec::new();
     for app in &workload.apps {
         if !hashed.contains(&app.as_str()) {
@@ -491,6 +502,24 @@ mod tests {
         let mut zeros = w.clone();
         zeros.arrivals = vec![0; 8];
         assert_eq!(plain, cell_key(&zeros, SuitePolicy::Linux, &cfg(), &m));
+    }
+
+    #[test]
+    fn cell_key_tracks_target_scales() {
+        let m = SynpaModel::default();
+        let w = workload::by_name("fb2").unwrap();
+        let plain = cell_key(&w, SuitePolicy::Linux, &cfg(), &m);
+        let mut scaled = w.clone();
+        scaled.target_scale = vec![0.5, 2.0, 0.5, 2.0, 0.5, 2.0, 0.5, 2.0];
+        assert_ne!(
+            plain,
+            cell_key(&scaled, SuitePolicy::Linux, &cfg(), &m),
+            "heterogeneous targets must not reuse calibrated-only cells"
+        );
+        // Explicit unit scales are semantically the plain workload.
+        let mut unit = w.clone();
+        unit.target_scale = vec![1.0; 8];
+        assert_eq!(plain, cell_key(&unit, SuitePolicy::Linux, &cfg(), &m));
     }
 
     #[test]

@@ -93,8 +93,19 @@ pub fn prepare_workload(workload: &Workload, cfg: &ExperimentConfig) -> Prepared
     let cache: HashMap<&str, (u64, f64)> = distinct.into_iter().zip(measured).collect();
     let mut apps = Vec::with_capacity(workload.apps.len());
     let mut solo_ipc = Vec::with_capacity(workload.apps.len());
-    for name in &workload.apps {
+    for (k, name) in workload.apps.iter().enumerate() {
         let (target, ipc) = cache[name.as_str()];
+        // Heterogeneous launch targets: each position's calibrated target
+        // is scaled individually (same app, same calibration run, shorter
+        // or longer launch), so one chip mixes early-relaunching and
+        // long-running applications. Solo IPC is a rate and stays as
+        // measured.
+        let scale = workload.target_scale(k);
+        let target = if scale == 1.0 {
+            target
+        } else {
+            ((target as f64 * scale).round() as u64).max(1)
+        };
         apps.push(spec::by_name(name).unwrap().with_length(target));
         solo_ipc.push(ipc);
     }

@@ -92,8 +92,12 @@ impl Cache {
         self.cfg.latency
     }
 
+    /// Set index `addr` maps to. Exposed within the crate so the burst
+    /// probe can reason about same-set interactions between the accesses of
+    /// one cycle (a fill into a set makes every later same-cycle probe of
+    /// that set unprovable).
     #[inline]
-    fn set_of(&self, addr: u64) -> u64 {
+    pub(crate) fn set_of(&self, addr: u64) -> u64 {
         (addr >> self.set_shift) & (self.sets - 1)
     }
 
@@ -163,7 +167,19 @@ impl Cache {
         Access::Miss
     }
 
-    /// Probe without filling or updating LRU (used by tests/diagnostics).
+    /// Probe without filling or updating LRU: the *probe* half of the
+    /// probe/commit split the burst engine is built on. `probe(addr)`
+    /// answers "would [`Cache::access`] / [`Cache::access_no_alloc`] hit?"
+    /// without perturbing the array, so the L2-miss path — the boundary
+    /// where a private data/fetch walk escalates into a shared LLC touch —
+    /// can be *detected* a cycle early and *committed* (via the mutating
+    /// accessors) only at the rendezvous epoch, in reference order.
+    ///
+    /// Sound within one probed cycle as long as no earlier access of the
+    /// same cycle filled the probed set: hits never change content (only
+    /// LRU stamps, which cannot flip a later hit/miss), and this level's
+    /// fills on behalf of *shared-touching* accesses never happen in a
+    /// cycle the probe approves. Also used by tests/diagnostics.
     pub fn probe(&self, addr: u64) -> bool {
         let set = self.set_of(addr) as usize;
         let tag = self.tag_of(addr);

@@ -41,8 +41,14 @@ pub struct Chip {
     /// `pmu_of`, `placement`) are O(1)/O(apps) instead of O(cores × smt).
     slot_index: HashMap<usize, Slot>,
     /// Per-core resume times, reused across `run_until` calls by the
-    /// per-core horizon engine so the quantum loop never allocates.
+    /// per-core horizon and burst engines so the quantum loop never
+    /// allocates.
     pub(crate) percore_resume: Vec<u64>,
+    /// Per-core burst duty-cycle state (see `engine::run_burst`): negative
+    /// while a core rests between burst engagements, creeping back toward
+    /// its next span. Persisted across `run_until` calls so the pacing
+    /// survives quantum boundaries.
+    pub(crate) burst_credit: Vec<i16>,
     /// Diagnostic stepped/elided tallies (see [`EngineStats`]).
     pub(crate) stats: EngineStats,
 }
@@ -62,6 +68,7 @@ impl Chip {
             events: Vec::new(),
             slot_index: HashMap::new(),
             percore_resume: Vec::new(),
+            burst_credit: Vec::new(),
             stats: EngineStats::default(),
         }
     }
@@ -184,6 +191,7 @@ impl Chip {
             EngineKind::Reference => engine::run_reference(self, target),
             EngineKind::Batched => engine::run_batched(self, target),
             EngineKind::PerCore => engine::run_percore(self, target),
+            EngineKind::Burst => engine::run_burst(self, target),
         }
     }
 

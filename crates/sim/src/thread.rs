@@ -19,6 +19,21 @@ use crate::stream::AddrStream;
 /// refreshed from the program model.
 const PHASE_REFRESH: u64 = 2048;
 
+/// Attack rate of the DRAM-demand estimator: on a fill cycle the rate is
+/// pulled toward the observed fills with this EWMA weight.
+const DRAM_RATE_ALPHA: f64 = 1.0 / 128.0;
+
+/// Linear leak of the DRAM-demand estimator per zero-fill cycle. A power
+/// of two, so `rate - LEAK` — and the batched `rate - n·LEAK` — are exact
+/// f64 operations for every rate below 2^40 (the leak lies on the ulp grid
+/// of any such rate, and the difference needs no extra significand bits):
+/// that exactness is what lets the horizon engines advance the estimator
+/// across an elided window in O(1) instead of replaying per-cycle
+/// roundings. 2^-13 empties a saturated estimator (rate ≈ the 0.02
+/// `dram_rate_cap`) in ~160 cycles, matching the horizon over which the
+/// PR 3/PR 4 EWMA (half-life ≈ 89 cycles) forgot a burst of demand.
+const DRAM_RATE_LEAK: f64 = 1.0 / 8192.0;
+
 /// MSHR fill-wheel capacity; must exceed the longest possible miss latency.
 const MSHR_WHEEL: usize = 4096;
 
@@ -236,11 +251,44 @@ impl HwThread {
         self.mshr_tick = self.mshr_tick.max(now);
     }
 
-    /// Updates the DRAM-demand EWMA with this cycle's DRAM fills.
+    /// Updates the DRAM-demand estimate with this cycle's DRAM fills:
+    /// EWMA-style attack toward the observed fill rate on fill cycles, a
+    /// linear leak on zero-fill cycles.
+    ///
+    /// The leak (rather than an exponential zero-fill decay) is what gives
+    /// the horizon engines an exact closed form: iterated f64 rounding of
+    /// `rate · (1-α)` has none, so PR 4 had to *replay* the decay once per
+    /// elided cycle — O(window length) per fast-forward, and the dominant
+    /// cost of eliding at full-chip scale, since a realistic rate only
+    /// reaches the decay's fixed point after ~90 000 iterations. A leak by
+    /// a power of two subtracts exactly (see [`DRAM_RATE_LEAK`]), so `n`
+    /// leaked cycles equal one batched subtraction bit-for-bit
+    /// ([`HwThread::decay_dram_rate`]). Solo-run observables are untouched
+    /// by the law change: the rate is only ever read through the
+    /// saturation branch, which needs a co-runner with excess demand.
     #[inline]
     pub(crate) fn update_dram_rate(&mut self, fills: u32) {
-        const ALPHA: f64 = 1.0 / 128.0;
-        self.dram_rate += (fills as f64 - self.dram_rate) * ALPHA;
+        if fills > 0 {
+            self.dram_rate += (fills as f64 - self.dram_rate) * DRAM_RATE_ALPHA;
+        } else {
+            self.dram_rate = (self.dram_rate - DRAM_RATE_LEAK).max(0.0);
+        }
+    }
+
+    /// Applies `n` zero-fill updates in closed form, bit-identical to `n`
+    /// single [`HwThread::update_dram_rate`]`(0)` calls: `rate - k·LEAK`
+    /// is exact for every representable rate (both operands sit on a
+    /// common grid of ≤ 53 significand bits), and once the rate reaches
+    /// 0.0 every further step is a fixed point.
+    #[inline]
+    pub(crate) fn decay_dram_rate(&mut self, n: u64) {
+        if self.dram_rate > 0.0 {
+            // Steps until the subtraction would cross zero; division by a
+            // power of two and `ceil` are exact.
+            let to_floor = (self.dram_rate / DRAM_RATE_LEAK).ceil();
+            let steps = to_floor.min(n as f64);
+            self.dram_rate = (self.dram_rate - steps * DRAM_RATE_LEAK).max(0.0);
+        }
     }
 
     /// Registers `misses` in-flight fills completing at `fill_time`.
@@ -254,12 +302,28 @@ impl HwThread {
     /// Next instruction-fetch address: hot loop body with probability
     /// `code_hot` (8 resident lines, cycled), otherwise a cold-code access.
     pub(crate) fn next_fetch_addr(&mut self, line: u64) -> u64 {
-        if self.rng.chance(self.phase.code_hot) {
-            self.hot_code_cursor = (self.hot_code_cursor + 1) % 8;
-            ((self.app_id as u64 + 1) << 44) + self.hot_code_cursor * line
-        } else {
-            self.code_stream.next(&mut self.rng)
-        }
+        let (code_stream, rng, cursor) = (
+            &mut self.code_stream,
+            &mut self.rng,
+            &mut self.hot_code_cursor,
+        );
+        fetch_addr(
+            self.app_id,
+            self.phase.code_hot,
+            line,
+            code_stream,
+            rng,
+            cursor,
+        )
+    }
+
+    /// True when the next dispatch-stage visit will refresh the phase
+    /// parameters (and retune both address streams). The burst probe treats
+    /// such a cycle as one that must be stepped exactly — the refresh is a
+    /// private mutation, but it changes the inputs of every later draw, so
+    /// a closed-form elision starting at this cycle would diverge.
+    pub(crate) fn refresh_pending(&self) -> bool {
+        self.retired_in_launch >= self.next_phase_refresh
     }
 
     /// Retires up to `width` µops in order. Returns retired count.
@@ -336,16 +400,23 @@ impl HwThread {
     /// first (ARM's `STALL_FRONTEND` is "no operation in the queue"), then
     /// dispatch width, LSQ capacity, and the shared-window ROB space.
     /// `None` means the thread can dispatch this cycle.
+    ///
+    /// `fetch_q` is passed explicitly because the caller may be evaluating
+    /// a hypothetical frontend state: the burst probe classifies the cycle
+    /// *before* the fetch stage has run, using the queue value the fetch
+    /// would leave behind.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn stall_kind(
         &self,
         now: u64,
+        fetch_q: u32,
         width_left: u32,
         lq_cap: u32,
         sq_cap: u32,
         rob_space: u32,
         iq_size: u32,
     ) -> Option<StallKind> {
-        if self.fetch_q == 0 {
+        if fetch_q == 0 {
             return Some(match self.fetch_block {
                 FetchBlock::Redirect => StallKind::FrontendBranch,
                 _ => StallKind::FrontendICache,
@@ -414,6 +485,7 @@ impl HwThread {
         let kind = self
             .stall_kind(
                 now,
+                self.fetch_q,
                 core.dispatch_width,
                 lq_cap,
                 sq_cap,
@@ -422,18 +494,11 @@ impl HwThread {
             )
             .expect("inert window implies every thread is stalled");
         self.apply_stall(kind, n);
-        // Replay the per-cycle zero-fill EWMA updates verbatim so the rate
-        // stays bit-identical to the reference path (iterated rounding has
-        // no closed form); stop once the decay reaches its fixed point.
-        if self.dram_rate != 0.0 {
-            for _ in 0..n {
-                let before = self.dram_rate;
-                self.update_dram_rate(0);
-                if self.dram_rate == before {
-                    break;
-                }
-            }
-        }
+        // The `n` zero-fill demand updates batch into one exact
+        // subtraction (see `decay_dram_rate`) — the O(window) per-cycle
+        // EWMA replay this path needed before the leak-law change was the
+        // dominant cost of eliding at full-chip scale.
+        self.decay_dram_rate(n);
     }
 
     /// True when the thread wants the I-cache port this cycle.
@@ -461,6 +526,27 @@ impl HwThread {
         self.migrate_stall_until = now + penalty as u64;
         self.mem_dither.reset();
         self.br_dither.reset();
+    }
+}
+
+/// The fetch-address draw, factored out so the per-cycle fetch stage and
+/// the burst probe share one implementation: the probe runs it on *clones*
+/// of the stochastic state (RNG, cold-code stream, hot-line cursor) and the
+/// commit step then consumes the identical draws from the real state, which
+/// is what guarantees a parked cycle replays on the same address.
+pub(crate) fn fetch_addr(
+    app_id: usize,
+    code_hot: f64,
+    line: u64,
+    code_stream: &mut AddrStream,
+    rng: &mut SplitMix64,
+    hot_code_cursor: &mut u64,
+) -> u64 {
+    if rng.chance(code_hot) {
+        *hot_code_cursor = (*hot_code_cursor + 1) % 8;
+        ((app_id as u64 + 1) << 44) + *hot_code_cursor * line
+    } else {
+        code_stream.next(rng)
     }
 }
 
@@ -602,6 +688,39 @@ mod tests {
         t.apply_migration(0, 10);
         assert_eq!(t.fetch_q, 0);
         assert_eq!(t.retired_in_launch, 42);
+    }
+
+    #[test]
+    fn batched_dram_decay_is_bit_identical_to_per_cycle_steps() {
+        // The closed form must equal `n` per-cycle zero-fill updates
+        // bit-for-bit for arbitrary attack-produced rates and window
+        // lengths — including windows that cross the zero floor.
+        let mut rng = crate::rng::SplitMix64::new(99);
+        for _ in 0..200 {
+            let mut a = thread(1000);
+            // Arbitrary attack history puts the rate at an arbitrary f64.
+            for _ in 0..(1 + rng.next_below(6)) {
+                a.update_dram_rate(1 + rng.next_below(4) as u32);
+            }
+            let mut b = thread(1000);
+            b.dram_rate = a.dram_rate;
+            let n = rng.next_below(600);
+            for _ in 0..n {
+                a.update_dram_rate(0);
+            }
+            b.decay_dram_rate(n);
+            assert_eq!(
+                a.dram_rate.to_bits(),
+                b.dram_rate.to_bits(),
+                "n = {n}, start = {}",
+                a.dram_rate
+            );
+        }
+        // A long window drains any rate to exactly zero.
+        let mut t = thread(1000);
+        t.update_dram_rate(4);
+        t.decay_dram_rate(1_000_000);
+        assert_eq!(t.dram_rate, 0.0);
     }
 
     #[test]

@@ -1,13 +1,17 @@
 //! Differential test wall for the horizon engines.
 //!
 //! The horizon engines' contract is *bit-identity*: for every seed, chip
-//! size and workload, `EngineKind::Batched` (chip-wide horizon) and
-//! `EngineKind::PerCore` (per-core horizons with LLC-epoch rendezvous)
-//! must produce exactly the same PMU counters, completions, placements
-//! and `RunResult`s as the retained `EngineKind::Reference` cycle-by-cycle
-//! loop. These tests run all engines side by side over unit scenarios,
-//! full 28-core/56-thread chips, partial-occupancy and staggered-arrival
-//! managed runs, and proptest-randomized demand mixes.
+//! size and workload, `EngineKind::Batched` (chip-wide horizon),
+//! `EngineKind::PerCore` (per-core horizons with LLC-epoch rendezvous) and
+//! `EngineKind::Burst` (private bursts between shared-state touches, with
+//! parked cycles replayed at their rendezvous epoch) must produce exactly
+//! the same PMU counters, completions, placements and `RunResult`s as the
+//! retained `EngineKind::Reference` cycle-by-cycle loop. These tests run
+//! all engines side by side over unit scenarios, full 28-core/56-thread
+//! chips, partial-occupancy and staggered-arrival managed runs, and
+//! proptest-randomized demand mixes — including a compute-bound /
+//! private-cache-heavy family (long private phases, rare LLC touches),
+//! the burst engine's best case and therefore its sharpest differential.
 
 use proptest::prelude::*;
 use synpa::prelude::*;
@@ -50,6 +54,24 @@ fn llc_phase() -> PhaseParams {
         data_footprint: 256 << 10,
         data_seq: 0.4,
         ..PhaseParams::compute()
+    }
+}
+
+/// Compute-bound, private-cache-heavy demands: hot code resident in the
+/// L1I, data resident in the private L1/L2, so after warm-up almost every
+/// active cycle is private — the burst engine runs these decoupled from
+/// the global clock and only rendezvouses for the rare LLC touch or a
+/// completion.
+fn private_phase() -> PhaseParams {
+    PhaseParams {
+        mem_ratio: 0.25,
+        data_footprint: 16 << 10,
+        data_seq: 0.7,
+        code_footprint: 1024,
+        code_hot: 1.0,
+        br_misp_rate: 0.001,
+        exec_latency: 1,
+        mlp: 0.8,
     }
 }
 
@@ -125,6 +147,7 @@ fn single_thread_all_profiles() {
         mem_phase(),
         icache_phase(),
         llc_phase(),
+        private_phase(),
     ] {
         assert_equivalent(
             &ChipConfig::thunderx2(1),
@@ -133,6 +156,33 @@ fn single_thread_all_profiles() {
             None,
         );
     }
+}
+
+#[test]
+fn private_phase_bursts_agree_with_reference() {
+    // The burst engine's best case: long private phases with rare LLC
+    // touches and short launches, so parked completions and parked shared
+    // accesses replay mid-burst many times per run. Mixing a private-heavy
+    // pair against a memory hog on the neighbouring core also checks that
+    // a bursting core never perturbs the rendezvous interleaving of the
+    // cores that do touch shared state.
+    assert_equivalent(
+        &ChipConfig::thunderx2(1),
+        &[(private_phase(), 8_000), (private_phase(), 11_000)],
+        &[4_000, 4_000, 4_000],
+        None,
+    );
+    assert_equivalent(
+        &ChipConfig::thunderx2(2),
+        &[
+            (private_phase(), 20_000),
+            (private_phase(), 15_000),
+            (mem_phase(), u64::MAX),
+            (llc_phase(), 25_000),
+        ],
+        &[5_000, 5_000, 5_000],
+        Some((1, 0, 2)),
+    );
 }
 
 #[test]
@@ -193,10 +243,11 @@ fn partial_occupancy_and_empty_chip() {
 fn thunderx2_full_56_threads() {
     let apps: Vec<(PhaseParams, u64)> = (0..56)
         .map(|i| {
-            let p = match i % 4 {
+            let p = match i % 5 {
                 0 => PhaseParams::compute(),
                 1 => mem_phase(),
                 2 => icache_phase(),
+                3 => private_phase(),
                 _ => llc_phase(),
             };
             (p, 30_000)
@@ -242,8 +293,9 @@ fn managed_workload_run_is_bit_identical() {
     // RandomPairing migrates threads every quantum, so this covers the
     // whole manager loop: sampling, placement changes, completions.
     let reference = run_fingerprint(EngineKind::Reference, 7);
-    assert_eq!(reference, run_fingerprint(EngineKind::Batched, 7));
-    assert_eq!(reference, run_fingerprint(EngineKind::PerCore, 7));
+    for &engine in &EngineKind::ALL[1..] {
+        assert_eq!(reference, run_fingerprint(engine, 7), "{engine}");
+    }
 }
 
 /// Fingerprint of a managed run with partial occupancy and/or staggered
@@ -276,7 +328,7 @@ fn partial_occupancy_managed_run_is_bit_identical() {
     // exactly where the per-core engine elides the most.
     let names = ["mcf", "gobmk", "hmmer", "astar"];
     let reference = arrivals_fingerprint(EngineKind::Reference, &names, &[], 4, 3);
-    for engine in [EngineKind::Batched, EngineKind::PerCore] {
+    for &engine in &EngineKind::ALL[1..] {
         assert_eq!(
             reference,
             arrivals_fingerprint(engine, &names, &[], 4, 3),
@@ -292,7 +344,7 @@ fn phase_shifted_managed_run_is_bit_identical() {
     let names = ["mcf", "xalancbmk_r", "gobmk", "perlbench", "nab_r", "hmmer"];
     let arrivals = [0, 0, 20_000, 20_000, 45_000, 45_000];
     let reference = arrivals_fingerprint(EngineKind::Reference, &names, &arrivals, 4, 9);
-    for engine in [EngineKind::Batched, EngineKind::PerCore] {
+    for &engine in &EngineKind::ALL[1..] {
         assert_eq!(
             reference,
             arrivals_fingerprint(engine, &names, &arrivals, 4, 9),
@@ -355,7 +407,7 @@ proptest! {
         let arrivals: Vec<u64> = (0..n).map(|k| (k / 2) as u64 * wave_gap).collect();
         let reference =
             arrivals_fingerprint(EngineKind::Reference, &names, &arrivals, cores, policy_seed);
-        for engine in [EngineKind::Batched, EngineKind::PerCore] {
+        for &engine in &EngineKind::ALL[1..] {
             prop_assert_eq!(
                 &reference,
                 &arrivals_fingerprint(engine, &names, &arrivals, cores, policy_seed),
@@ -363,6 +415,39 @@ proptest! {
             );
         }
     }
+}
+
+/// Compute-bound / private-cache-heavy demands: footprints that fit the
+/// private L1/L2, mostly-hot code, modest memory ratios. Long private
+/// phases with rare LLC touches are exactly what the burst engine runs
+/// decoupled from the global clock, so this family concentrates the
+/// differential pressure on the probe's park decisions (the generic
+/// `arb_phase` only rarely lands in this corner).
+fn arb_private_phase() -> impl Strategy<Value = PhaseParams> {
+    (
+        0.0f64..0.35,  // mem_ratio
+        1u64..48,      // data footprint (KiB) — L1/L2 resident
+        0.3f64..1.0,   // data_seq
+        1u64..4,       // code footprint (KiB) — L1I resident
+        0.9f64..1.0,   // code_hot
+        0.0f64..0.002, // br_misp_rate
+        1u32..4,       // exec_latency
+        0.3f64..1.0,   // mlp
+    )
+        .prop_map(
+            |(mem_ratio, data_kb, data_seq, code_kb, code_hot, br, exec_latency, mlp)| {
+                PhaseParams {
+                    mem_ratio,
+                    data_footprint: data_kb * 1024,
+                    data_seq,
+                    code_footprint: code_kb * 1024,
+                    code_hot,
+                    br_misp_rate: br,
+                    exec_latency,
+                    mlp,
+                }
+            },
+        )
 }
 
 proptest! {
@@ -374,6 +459,31 @@ proptest! {
         cores in 1u32..4,
         seed in 0u64..1_000_000,
         len in 5_000u64..80_000,
+        chunk in 500u64..4_000,
+        swap_after in 0usize..3,
+    ) {
+        let slots = (cores * 2) as usize;
+        let apps: Vec<(PhaseParams, u64)> =
+            phases.iter().take(slots).map(|&p| (p, len)).collect();
+        let swap = (apps.len() >= 2).then_some((swap_after, 0usize, apps.len() - 1));
+        assert_equivalent(
+            &ChipConfig::thunderx2(cores).with_seed(seed),
+            &apps,
+            &[chunk, chunk, chunk],
+            swap,
+        );
+    }
+
+    // The burst engine's best case, randomized: private-cache-heavy mixes
+    // with short launches, so bursts regularly park for completions and
+    // for the occasional cold-line LLC walk, across chip sizes and
+    // mid-run migrations.
+    #[test]
+    fn engines_agree_on_private_heavy_workloads(
+        phases in proptest::collection::vec(arb_private_phase(), 1..8),
+        cores in 1u32..4,
+        seed in 0u64..1_000_000,
+        len in 2_000u64..40_000,
         chunk in 500u64..4_000,
         swap_after in 0usize..3,
     ) {
