@@ -83,6 +83,8 @@ fn engine_comparison(c: &mut Criterion) {
     // 28-core machine — the burst engine's best case: active cores run
     // decoupled from the global clock between their rare shared-state
     // touches, so the per-cycle rendezvous sweep disappears entirely.
+    // The `parallel*` rows resolve their worker count from the machine
+    // (or `SYNPA_THREADS`), so single-CPU boxes measure the inline path.
     for (label, engine, apps, cores, params) in [
         (
             "reference",
@@ -94,6 +96,7 @@ fn engine_comparison(c: &mut Criterion) {
         ("batched", EngineKind::Batched, 8, 4, llc_params()),
         ("batched_percore", EngineKind::PerCore, 8, 4, llc_params()),
         ("burst", EngineKind::Burst, 8, 4, llc_params()),
+        ("parallel", EngineKind::Parallel, 8, 4, llc_params()),
         ("batched_56", EngineKind::Batched, 56, 28, llc_params()),
         (
             "batched_percore_56",
@@ -103,6 +106,7 @@ fn engine_comparison(c: &mut Criterion) {
             llc_params(),
         ),
         ("burst_56", EngineKind::Burst, 56, 28, llc_params()),
+        ("parallel_56", EngineKind::Parallel, 56, 28, llc_params()),
         (
             "sparse_percore_56",
             EngineKind::PerCore,
@@ -113,6 +117,13 @@ fn engine_comparison(c: &mut Criterion) {
         (
             "sparse_burst_56",
             EngineKind::Burst,
+            8,
+            28,
+            private_params(),
+        ),
+        (
+            "sparse_parallel_56",
+            EngineKind::Parallel,
             8,
             28,
             private_params(),

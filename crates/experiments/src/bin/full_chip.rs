@@ -40,7 +40,7 @@ fn usage(reason: &str) -> ! {
     eprintln!("error: {reason}");
     eprintln!(
         "usage: full_chip [--smoke] [--workloads N] [--reps N] \
-         [--engine reference|batched|percore|burst]"
+         [--engine reference|batched|percore|burst|parallel]"
     );
     std::process::exit(2)
 }

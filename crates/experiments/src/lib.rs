@@ -11,7 +11,8 @@
 //!
 //! All caches live under `results/`; delete the directory (or run with
 //! `SYNPA_FRESH=1`) to recompute everything from scratch. Worker-thread
-//! count is taken from the machine, overridable with `SYNPA_THREADS`.
+//! count is taken from the machine, overridable with `SYNPA_THREADS`
+//! (malformed values abort rather than being silently ignored).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -121,18 +122,20 @@ fn load_model(path: &Path) -> Option<(SynpaModel, [f64; 3])> {
 
 /// Worker threads for parallel runs.
 ///
-/// `SYNPA_THREADS` overrides the machine's parallelism (clamped to ≥ 1) so
-/// CI and tests can pin the worker count; unset or unparseable values fall
-/// back to `available_parallelism`.
+/// `SYNPA_THREADS` pins the worker count for CI and tests; unset or empty
+/// falls back to `available_parallelism`. Malformed values (`0`, `1O`,
+/// `lots`) abort with the accepted format instead of being silently
+/// ignored — an explicit pin that doesn't take effect would skew every
+/// measurement it was meant to control, exactly like an unknown
+/// `SYNPA_ENGINE` name. Parsing lives in [`synpa::sim::threads_from_env`]
+/// so the parallel chip engine and the experiment runner agree on the
+/// variable's meaning.
 pub fn threads() -> usize {
-    if let Ok(v) = std::env::var("SYNPA_THREADS") {
-        if let Ok(n) = v.trim().parse::<u64>() {
-            return n.max(1) as usize;
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(8)
+    synpa::sim::threads_from_env().unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8)
+    })
 }
 
 /// The experiment configuration used by every evaluation binary

@@ -169,12 +169,15 @@ const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// Hash of everything in an [`ExperimentConfig`] that can change a cell's
 /// *result*: the whole config's `Debug` rendering, with the non-semantic
 /// fields neutralized first — `threads` (parallelism never affects
-/// output), `base_seed` (a separate component of the cell key) and
-/// `chip.engine` (every engine — reference, batched, percore — is
-/// bit-identical on every counter, enforced by the `engine_equivalence`
-/// differential wall, so cells stay warm across engine choice). The
-/// engine field is canonicalized to one fixed variant rather than the
-/// default, so a future default change can't invalidate caches either.
+/// output), `base_seed` (a separate component of the cell key),
+/// `chip.engine` (every engine — reference, batched, percore, burst,
+/// parallel — is bit-identical on every counter, enforced by the
+/// `engine_equivalence` differential wall, so cells stay warm across
+/// engine choice) and `chip.parallel_workers` (the parallel engine is
+/// worker-count-independent by the same wall, so the pool size is a pure
+/// wall-clock knob). The engine field is canonicalized to one fixed
+/// variant rather than the default, so a future default change can't
+/// invalidate caches either.
 /// `chip.seed` stays in the
 /// hash: the per-repetition measurement runs override it, but calibration
 /// (`prepare_workload`) consumes it as-is, so launch targets and solo IPC
@@ -186,6 +189,7 @@ pub fn config_hash(cfg: &ExperimentConfig) -> u64 {
     canon.threads = 0;
     canon.base_seed = 0;
     canon.manager.chip.engine = EngineKind::Batched;
+    canon.manager.chip.parallel_workers = None;
     fnv1a(FNV_OFFSET, format!("{canon:?}").as_bytes())
 }
 
@@ -483,6 +487,14 @@ mod tests {
             let mut b = cfg();
             b.manager.chip.engine = engine;
             assert_eq!(config_hash(&a), config_hash(&b), "{engine}");
+        }
+        // Same argument for the parallel engine's pool size: worker count
+        // never changes output, so it must not fork the cache either.
+        for workers in [1, 4, 56] {
+            let mut b = cfg();
+            b.manager.chip.engine = EngineKind::Parallel;
+            b.manager.chip.parallel_workers = Some(workers);
+            assert_eq!(config_hash(&a), config_hash(&b), "{workers} workers");
         }
     }
 

@@ -144,7 +144,9 @@ fn first_free_slot(chip: &Chip) -> Option<Slot> {
 }
 
 /// [`run_workload`] with per-app arrival cycles (`arrivals[k]` for app *k*;
-/// an empty slice or missing entries mean cycle 0).
+/// an empty slice means everyone arrives at cycle 0). Any other length
+/// mismatch panics — a truncated arrival list would otherwise silently run
+/// the tail at cycle 0 and corrupt per-app turnaround times.
 ///
 /// Apps may underfill the chip (partial occupancy) and may arrive
 /// staggered: each app is attached at the first quantum boundary at or
@@ -167,6 +169,15 @@ pub fn run_workload_with_arrivals(
     );
     assert!(n % 2 == 0, "workload size must be even (SMT2 pairing)");
     assert_eq!(solo_ipc.len(), n);
+    // A partially-filled arrivals slice is almost always a bug (a workload
+    // edited without its arrival list): refusing it beats silently running
+    // the truncated tail at cycle 0 and reporting wrong turnaround times.
+    assert!(
+        arrivals.is_empty() || arrivals.len() == n,
+        "arrivals length {} does not match the workload's {n} apps \
+         (pass one arrival cycle per app, or an empty slice for all-at-0)",
+        arrivals.len()
+    );
     let arrival = |k: usize| arrivals.get(k).copied().unwrap_or(0);
     {
         let mut by_cycle: std::collections::BTreeMap<u64, usize> =
@@ -420,6 +431,27 @@ mod tests {
         let result = run_workload_with_arrivals(&apps, &solo, &mut policy, &cfg, &arrivals);
         assert!(result.quanta < cfg.max_quanta);
         assert!(result.migrations > 0, "policy still re-pairs across waves");
+    }
+
+    /// Regression: a too-short arrivals slice used to fall back to
+    /// arrive-at-0 for the missing tail instead of flagging the mismatch.
+    #[test]
+    #[should_panic(expected = "does not match the workload")]
+    fn truncated_arrivals_slice_panics() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let arrivals = [0, 0, 10_000, 10_000]; // 4 entries for 8 apps
+        run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+    }
+
+    #[test]
+    fn empty_and_full_length_arrivals_agree() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig::default();
+        let base = run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &[]);
+        let zeros = run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &[0; 8]);
+        assert_eq!(base.tt_cycles, zeros.tt_cycles);
+        assert_eq!(base.quanta, zeros.quanta);
     }
 
     #[test]

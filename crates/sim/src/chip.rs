@@ -49,6 +49,14 @@ pub struct Chip {
     /// its next span. Persisted across `run_until` calls so the pacing
     /// survives quantum boundaries.
     pub(crate) burst_credit: Vec<i16>,
+    /// The parallel engine's pinned worker pool, spawned lazily on the
+    /// first `run_until` under `EngineKind::Parallel` with ≥ 2 workers and
+    /// reused for every epoch and quantum after that. Dropping the chip
+    /// shuts the workers down synchronously.
+    pub(crate) pool: Option<crate::pool::WorkerPool>,
+    /// The parallel engine's inline scratch for the 1-worker case (no pool
+    /// is spawned; the private advance runs on the calling thread).
+    pub(crate) scratch: Option<engine::PrivateScratch>,
     /// Diagnostic stepped/elided tallies (see [`EngineStats`]).
     pub(crate) stats: EngineStats,
 }
@@ -69,6 +77,8 @@ impl Chip {
             slot_index: HashMap::new(),
             percore_resume: Vec::new(),
             burst_credit: Vec::new(),
+            pool: None,
+            scratch: None,
             stats: EngineStats::default(),
         }
     }
@@ -192,6 +202,7 @@ impl Chip {
             EngineKind::Batched => engine::run_batched(self, target),
             EngineKind::PerCore => engine::run_percore(self, target),
             EngineKind::Burst => engine::run_burst(self, target),
+            EngineKind::Parallel => engine::run_parallel(self, target),
         }
     }
 

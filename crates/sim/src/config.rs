@@ -104,6 +104,14 @@ pub struct ChipConfig {
     /// `engine_equivalence` differential wall); this is a pure performance
     /// knob and deliberately *not* part of the experiment cache key.
     pub engine: EngineKind,
+    /// Worker threads for [`EngineKind::Parallel`]'s intra-run pool.
+    /// `None` (the default) resolves on first use to `SYNPA_THREADS`
+    /// (strictly parsed — see `synpa_sim::threads_from_env`) or, unset, to
+    /// the machine's parallelism; `Some(1)` runs the private advance
+    /// inline with no pool. Results are byte-identical for every worker
+    /// count, so — like `engine` — this is a pure wall-clock knob and not
+    /// part of the experiment cache key.
+    pub parallel_workers: Option<usize>,
 }
 
 impl ChipConfig {
@@ -176,6 +184,7 @@ impl ChipConfig {
             // because every engine is bit-identical on every observable —
             // the override can only change wall-clock time).
             engine: EngineKind::from_env().unwrap_or(EngineKind::Burst),
+            parallel_workers: None,
         }
     }
 
@@ -218,6 +227,17 @@ impl ChipConfig {
     /// Returns a copy driven by a different cycle-advancement engine.
     pub fn with_engine(mut self, engine: EngineKind) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Returns a copy with a pinned worker count for the parallel
+    /// engine's intra-run pool (tests pin it so their coverage does not
+    /// depend on the machine; panics on 0 — mirror the strict
+    /// `SYNPA_THREADS` contract). Only changes wall-clock time: results
+    /// are byte-identical for every worker count.
+    pub fn with_parallel_workers(mut self, workers: usize) -> Self {
+        assert!(workers >= 1, "parallel_workers must be at least 1");
+        self.parallel_workers = Some(workers);
         self
     }
 }
@@ -315,15 +335,33 @@ mod tests {
 
     #[test]
     fn engine_names_round_trip_and_reject_unknown() {
-        assert_eq!(EngineKind::ALL.len(), 4);
+        assert_eq!(EngineKind::ALL.len(), 5);
         for e in EngineKind::ALL {
             assert_eq!(EngineKind::parse(e.name()), Ok(e));
             assert_eq!(format!("{e}"), e.name());
         }
         let err = EngineKind::parse("warp").unwrap_err();
         assert!(
-            err.contains("warp") && err.contains("percore") && err.contains("burst"),
+            err.contains("warp")
+                && err.contains("percore")
+                && err.contains("burst")
+                && err.contains("parallel"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn with_parallel_workers_pins_the_pool_size() {
+        let a = ChipConfig::thunderx2(4);
+        assert_eq!(a.parallel_workers, None, "default resolves from the env");
+        let b = a.clone().with_parallel_workers(4);
+        assert_eq!(b.parallel_workers, Some(4));
+        assert_eq!(a.engine, b.engine, "only the worker count changes");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_parallel_workers_panics() {
+        let _ = ChipConfig::thunderx2(4).with_parallel_workers(0);
     }
 }

@@ -47,8 +47,16 @@
 //! Cycles in which shared state can move — *interaction windows* — always
 //! run through the reference `Core::step` path, in reference order
 //! (ascending cycle, ascending core index within a cycle), which is why
-//! all four engines are bit-identical on every counter (see
+//! all five engines are bit-identical on every counter (see
 //! `docs/engine.md` and the `engine_equivalence` differential test wall).
+//!
+//! The parallel engine extends the burst engine's decoupling across OS
+//! threads: between rendezvous epochs, provably-private stretches of
+//! different cores advance concurrently on a pinned worker pool
+//! ([`crate::pool`]), while every shared-touching or unprovable cycle is
+//! still committed by the main thread at its epoch, in reference order.
+//! Private cycles commute with everything by construction, so the worker
+//! interleaving — and the worker *count* — can never change a result.
 
 use crate::chip::Chip;
 use crate::config::ChipConfig;
@@ -80,15 +88,24 @@ pub enum EngineKind {
     /// and parks for an exact rendezvous replay at the first cycle that
     /// would touch the LLC/DRAM or emit a completion.
     Burst,
+    /// Parallel engine: the burst engine's private stretches, sharded
+    /// across a pinned worker pool *inside one chip run*. Between
+    /// rendezvous epochs each worker advances its assigned cores through
+    /// their private phases; every parked or shared-touching cycle is
+    /// committed by the main thread at its epoch in reference (cycle,
+    /// core-index) order, so results are byte-identical for any worker
+    /// count (`ChipConfig::parallel_workers`, `SYNPA_THREADS`).
+    Parallel,
 }
 
 impl EngineKind {
     /// Every engine, in documentation order.
-    pub const ALL: [EngineKind; 4] = [
+    pub const ALL: [EngineKind; 5] = [
         EngineKind::Reference,
         EngineKind::Batched,
         EngineKind::PerCore,
         EngineKind::Burst,
+        EngineKind::Parallel,
     ];
 
     /// Stable lowercase name (CLI flags, bench labels, reports).
@@ -98,6 +115,7 @@ impl EngineKind {
             EngineKind::Batched => "batched",
             EngineKind::PerCore => "percore",
             EngineKind::Burst => "burst",
+            EngineKind::Parallel => "parallel",
         }
     }
 
@@ -111,8 +129,9 @@ impl EngineKind {
             // target; accept it as an alias.
             "percore" | "per-core" | "batched_percore" => Ok(EngineKind::PerCore),
             "burst" => Ok(EngineKind::Burst),
+            "parallel" => Ok(EngineKind::Parallel),
             other => Err(format!(
-                "unknown engine '{other}' (valid: reference, batched, percore, burst)"
+                "unknown engine '{other}' (valid: reference, batched, percore, burst, parallel)"
             )),
         }
     }
@@ -167,7 +186,7 @@ pub struct EngineStats {
 /// access count, and an inert outcome is asserted to have touched nothing
 /// shared — so a future model change that misreports a shared touch trips
 /// an assertion (and the differential wall) instead of corrupting
-/// results. All four engines step through this one helper, so the checks
+/// results. All five engines step through this one helper, so the checks
 /// can never drift apart between them.
 fn checked_step(
     core: &mut Core,
@@ -493,6 +512,290 @@ pub(crate) fn run_burst(chip: &mut Chip, end: u64) -> Vec<Completion> {
     std::mem::take(&mut chip.events)
 }
 
+/// Scratch stand-ins for the shared state handed to `Core::step` during a
+/// private advance off the global clock: a minimal cache, an idle memory
+/// model and an event buffer — all of which must come back *untouched*,
+/// because the probe promised the cycles were private. Each pool worker
+/// owns one; the single-worker inline path keeps one on the [`Chip`].
+pub(crate) struct PrivateScratch {
+    llc: crate::cache::Cache,
+    mem: crate::mem::Memory,
+    events: Vec<Completion>,
+}
+
+impl PrivateScratch {
+    pub(crate) fn new() -> Self {
+        // One-set, one-way stand-in: it is never legitimately accessed
+        // (the probe proved every advanced cycle private), so the geometry
+        // is irrelevant — the release-grade assert in `advance_private`
+        // turns any access into a hard failure instead of a silent
+        // divergence from the reference interleaving.
+        let tiny = crate::config::CacheConfig {
+            size_bytes: 64,
+            ways: 1,
+            line_bytes: 64,
+            latency: 1,
+        };
+        Self {
+            llc: crate::cache::Cache::new(tiny),
+            mem: crate::mem::Memory::new(1, 0.0),
+            events: Vec::new(),
+        }
+    }
+}
+
+/// Advances one core privately over `[from, end)`, decoupled from the
+/// global clock: the burst engine's span loop, factored out so the
+/// parallel engine can run it on a pool worker (or inline at one worker).
+/// Probes first, steps only probe-approved cycles, fast-forwards provably
+/// inert stretches, and stops — *parking* the core — at the first cycle it
+/// cannot prove private, after `span` probes, or at `end`.
+///
+/// Unlike the burst engine's in-loop variant this steps against
+/// [`PrivateScratch`] rather than the real LLC/memory, and holds the probe
+/// to its promise with a **release-grade** assert (not a `debug_assert`):
+/// on a worker thread a violated privacy promise would silently diverge
+/// from the reference interleaving instead of tripping the differential
+/// wall, so it must abort even in release builds.
+///
+/// Returns `(resume, stepped, elided, burst)`: the park cycle (first cycle
+/// *not* advanced, in `[from, end]`) and the accounting tallies.
+pub(crate) fn advance_private(
+    core: &mut Core,
+    cfg: &ChipConfig,
+    from: u64,
+    end: u64,
+    mut span: u32,
+    scratch: &mut PrivateScratch,
+) -> (u64, u64, u64, u64) {
+    let (mut stepped, mut elided, mut burst) = (0u64, 0u64, 0u64);
+    let mut c = from;
+    let resume = loop {
+        if c >= end || span == 0 {
+            break c.min(end);
+        }
+        span -= 1;
+        match core.probe_cycle(c, cfg) {
+            CycleProbe::Shared => break c,
+            CycleProbe::Inert => {
+                let wake = park_inert(core, cfg, c, c + 1, end, &mut elided);
+                if wake >= end {
+                    break end;
+                }
+                c = wake;
+            }
+            CycleProbe::Private => {
+                let before = (scratch.llc.stats().accesses, scratch.mem.accesses());
+                let o = core.step(
+                    c,
+                    cfg,
+                    &mut scratch.llc,
+                    &mut scratch.mem,
+                    &mut scratch.events,
+                );
+                assert!(
+                    !o.touched_shared()
+                        && (scratch.llc.stats().accesses, scratch.mem.accesses()) == before
+                        && scratch.events.is_empty(),
+                    "private advance touched shared state at cycle {c} (core {})",
+                    core.id
+                );
+                stepped += 1;
+                burst += 1;
+                if o.active {
+                    c += 1;
+                } else {
+                    let wake = park_inert(core, cfg, c + 1, c + 1, end, &mut elided);
+                    if wake >= end {
+                        break end;
+                    }
+                    c = wake;
+                }
+            }
+        }
+    };
+    (resume, stepped, elided, burst)
+}
+
+/// The parallel engine: burst-style rendezvous epochs on the main thread,
+/// private stretches sharded across the pinned worker pool.
+///
+/// Each epoch the main thread steps every due core in reference (cycle,
+/// core-index) order against the real shared state — exactly like the
+/// percore/burst engines, so LLC/DRAM interleaving and completion order
+/// are reference-identical. A core whose rendezvous step was active and
+/// touched nothing shared is *dispatched*: ownership of the `Core` moves
+/// to its worker (`core_index % workers`, deterministic), which advances
+/// it through [`advance_private`] until the first unprovable cycle. The
+/// epoch ends with a barrier — every dispatched core checks back in with
+/// its park cycle before the clock moves — and the global clock advances
+/// to the earliest resume time.
+///
+/// Worker-count independence: workers only ever execute cycles the probe
+/// proved private, which touch no shared state and commute with
+/// everything; every cycle that can interact is committed by the main
+/// thread at its epoch in reference order. The worker count (and the duty
+/// cycle below) can therefore only change wall-clock time, never a result
+/// — `SYNPA_THREADS ∈ {1, N}` is byte-identical by construction, and the
+/// differential wall plus the CI byte-diff enforce it.
+///
+/// At one worker no pool is spawned: the same advance runs inline under
+/// the burst engine's exact duty cycle, so the single-worker overhead
+/// stays within noise of `EngineKind::Burst`. With real workers the span
+/// is unbounded (the probe work runs off the main thread; a dispatch must
+/// win back its channel round trip) and rests are short.
+pub(crate) fn run_parallel(chip: &mut Chip, end: u64) -> Vec<Completion> {
+    /// Single-worker duty cycle: mirror `run_burst` exactly.
+    const SPAN_SINGLE: u32 = 16;
+    const REST_SINGLE: i16 = 255;
+    /// Multi-worker rest: dispatching is cheap for the main thread (the
+    /// probing runs elsewhere), so engage far more often than burst.
+    const REST_MULTI: i16 = 31;
+
+    // Resolve the worker count and build the backend on first use; both
+    // persist on the chip across `run_until` calls (the pool threads are
+    // long-lived — per-quantum fan-out must not spawn).
+    if chip.pool.is_none() && chip.scratch.is_none() {
+        let workers = chip.cfg.parallel_workers.unwrap_or_else(|| {
+            crate::pool::threads_from_env().unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+        });
+        assert!(workers >= 1, "parallel engine needs at least one worker");
+        if workers > 1 {
+            chip.pool = Some(crate::pool::WorkerPool::new(workers, &chip.cfg));
+        } else {
+            chip.scratch = Some(PrivateScratch::new());
+        }
+    }
+    let pool = chip.pool.take();
+    let mut scratch = chip.scratch.take();
+    let (span, rest) = match &pool {
+        // Dispatched cores may run to their next interaction: the probing
+        // happens on worker threads the run wouldn't otherwise use.
+        Some(p) if p.workers() >= 2 => (u32::MAX, REST_MULTI),
+        _ => (SPAN_SINGLE, REST_SINGLE),
+    };
+
+    let n_cores = chip.cores.len();
+    // Cores move out of the chip so their ownership can transfer to the
+    // workers (no borrow smuggling under `forbid(unsafe_code)`); every
+    // core is checked back in before this function returns.
+    let mut cores: Vec<Option<Core>> = chip.cores.drain(..).map(Some).collect();
+    let mut resume = std::mem::take(&mut chip.percore_resume);
+    resume.clear();
+    resume.resize(n_cores, chip.cycle);
+    let mut credit = std::mem::take(&mut chip.burst_credit);
+    if credit.len() != n_cores {
+        credit.clear();
+        credit.resize(n_cores, 1);
+    }
+    let (mut stepped, mut elided, mut burst) = (0u64, 0u64, 0u64);
+    let mut failure: Option<Box<dyn std::any::Any + Send>> = None;
+    let mut now = chip.cycle;
+    while now < end {
+        chip.mem.tick(now);
+        let mut next = end;
+        let mut outstanding = 0usize;
+        for idx in 0..n_cores {
+            if resume[idx] > now {
+                next = next.min(resume[idx]);
+                continue;
+            }
+            // The rendezvous step (reference order, real shared state).
+            let core = cores[idx].as_mut().expect("core checked in at epoch");
+            stepped += 1;
+            let out = checked_step(
+                core,
+                now,
+                &chip.cfg,
+                &mut chip.llc,
+                &mut chip.mem,
+                &mut chip.events,
+            );
+            let due = if !out.active {
+                park_inert(core, &chip.cfg, now + 1, now + 1, end, &mut elided)
+            } else if out.touched_shared() {
+                now + 1
+            } else if credit[idx] <= 0 {
+                credit[idx] += 1;
+                now + 1
+            } else {
+                credit[idx] = -rest;
+                if let Some(pool) = &pool {
+                    let core = cores[idx].take().expect("core present at dispatch");
+                    pool.submit(crate::pool::Job {
+                        core,
+                        idx,
+                        from: now + 1,
+                        end,
+                        span,
+                    });
+                    outstanding += 1;
+                    continue; // resume committed at the barrier below
+                }
+                let (at, s, e, b) = advance_private(
+                    core,
+                    &chip.cfg,
+                    now + 1,
+                    end,
+                    span,
+                    scratch.as_mut().expect("inline scratch at one worker"),
+                );
+                stepped += s;
+                elided += e;
+                burst += b;
+                at
+            };
+            resume[idx] = due;
+            next = next.min(due);
+        }
+        // The epoch barrier: every dispatched core checks back in before
+        // the clock moves, so the next epoch again owns every core.
+        if let Some(pool) = &pool {
+            for _ in 0..outstanding {
+                let adv = pool.recv();
+                cores[adv.idx] = Some(adv.core);
+                if let Some(p) = adv.panic {
+                    // Keep draining so every core comes home, then
+                    // propagate the first worker panic intact below.
+                    failure.get_or_insert(p);
+                    continue;
+                }
+                resume[adv.idx] = adv.resume;
+                next = next.min(adv.resume);
+                stepped += adv.stepped;
+                elided += adv.elided;
+                burst += adv.burst;
+            }
+            if failure.is_some() {
+                break;
+            }
+        }
+        now = next;
+    }
+    // Check every core (and the backend) back into the chip before any
+    // unwind, so a worker panic surfaces from a structurally sound chip.
+    chip.cores = cores
+        .into_iter()
+        .map(|c| c.expect("all cores checked in at the final barrier"))
+        .collect();
+    chip.pool = pool;
+    chip.scratch = scratch;
+    chip.percore_resume = resume;
+    chip.burst_credit = credit;
+    if let Some(p) = failure {
+        std::panic::resume_unwind(p);
+    }
+    chip.cycle = chip.cycle.max(end);
+    chip.stats.stepped += stepped;
+    chip.stats.elided += elided;
+    chip.stats.burst += burst;
+    std::mem::take(&mut chip.events)
+}
+
 /// Earliest cycle in `(chip.cycle, end]` at which anything observable can
 /// happen, given that the cycle just executed was fully inert. Every
 /// per-thread wake event is strictly in the future (a thread whose event
@@ -616,6 +919,83 @@ mod tests {
             s.burst > 500,
             "compute phases must keep engaging full burst spans: {s:?}"
         );
+    }
+
+    /// The tentpole contract at the engine level: the parallel engine is
+    /// bit-identical to the reference loop for *every* worker count, and
+    /// its accounting still partitions every (core, cycle) pair. One
+    /// worker exercises the inline path (no pool), the others the real
+    /// ownership-transfer pool with barrier epochs.
+    #[test]
+    fn parallel_engine_matches_reference_for_any_worker_count() {
+        let run = |cfg: ChipConfig| {
+            let mut c = Chip::new(cfg);
+            for i in 0..6 {
+                let p = if i % 2 == 0 {
+                    mem_phase()
+                } else {
+                    PhaseParams::compute()
+                };
+                c.attach(
+                    Slot(i),
+                    i,
+                    Box::new(UniformProgram::new(format!("p{i}"), p, 20_000)),
+                );
+            }
+            let mut completions = Vec::new();
+            for _ in 0..4 {
+                completions.extend(c.run_cycles(5_000));
+            }
+            let pmus: Vec<_> = (0..6).map(|i| *c.pmu_of(i).unwrap()).collect();
+            (completions, pmus, c.engine_stats())
+        };
+        let base = ChipConfig::thunderx2(4);
+        let (rev, rpmu, _) = run(base.clone().with_engine(EngineKind::Reference));
+        for workers in [1usize, 2, 4] {
+            let (ev, pmu, stats) = run(base
+                .clone()
+                .with_engine(EngineKind::Parallel)
+                .with_parallel_workers(workers));
+            assert_eq!(rev, ev, "{workers} workers: completions");
+            assert_eq!(rpmu, pmu, "{workers} workers: PMU counters");
+            assert_eq!(
+                stats.stepped + stats.elided,
+                4 * 20_000,
+                "{workers} workers: {stats:?}"
+            );
+        }
+    }
+
+    /// The pool is spawned lazily on the first quantum and then reused —
+    /// never respawned per `run_until` — and one worker means no pool at
+    /// all (the inline path).
+    #[test]
+    fn parallel_pool_is_lazy_reused_and_sized() {
+        let mut c = Chip::new(
+            ChipConfig::thunderx2(4)
+                .with_engine(EngineKind::Parallel)
+                .with_parallel_workers(3),
+        );
+        c.attach(
+            Slot(0),
+            0,
+            Box::new(UniformProgram::new("p0", mem_phase(), u64::MAX)),
+        );
+        assert!(c.pool.is_none(), "no workers before the first quantum");
+        c.run_cycles(2_000);
+        assert!(c.pool.is_some(), "pool spawned on first use");
+        assert_eq!(c.pool.as_ref().unwrap().workers(), 3);
+        c.run_cycles(2_000);
+        assert_eq!(c.pool.as_ref().unwrap().workers(), 3, "same pool reused");
+
+        let mut inline = Chip::new(
+            ChipConfig::thunderx2(4)
+                .with_engine(EngineKind::Parallel)
+                .with_parallel_workers(1),
+        );
+        inline.run_cycles(1_000);
+        assert!(inline.pool.is_none(), "one worker runs inline");
+        assert!(inline.scratch.is_some());
     }
 
     #[test]

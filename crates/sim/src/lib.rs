@@ -41,6 +41,7 @@ mod core;
 mod engine;
 mod mem;
 mod pmu;
+mod pool;
 mod program;
 mod rng;
 mod stream;
@@ -53,6 +54,7 @@ pub use core::Core;
 pub use engine::{EngineKind, EngineStats};
 pub use mem::Memory;
 pub use pmu::{Event, ExtCounters, PmuCounters, PmuDelta};
+pub use pool::threads_from_env;
 pub use program::{PhaseParams, ThreadProgram, UniformProgram};
 pub use rng::{Dither, SplitMix64};
 pub use stream::AddrStream;

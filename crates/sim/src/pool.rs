@@ -1,0 +1,295 @@
+//! Long-lived pinned worker pool for [`EngineKind::Parallel`]
+//! (`crate::engine::run_parallel`), plus the strict `SYNPA_THREADS`
+//! parser every worker-count consumer shares.
+//!
+//! The pool exists because per-epoch fan-out is far too fine-grained for
+//! scoped spawn-per-call helpers: a full-chip run rendezvouses tens of
+//! thousands of times per quantum, so the workers must be spawned once
+//! per chip and fed over channels. Under the workspace-wide
+//! `forbid(unsafe_code)` there is no borrow smuggling either — jobs
+//! *move* the [`Core`] to the worker and the epoch barrier moves it back,
+//! so Rust's ownership rules are the synchronization proof:
+//!
+//! * **routing** — core *i* always runs on worker `i % workers`
+//!   (deterministic, though results never depend on it: workers only
+//!   execute provably-private cycles, which commute with everything);
+//! * **epoch barrier** — `run_parallel` submits every dispatched core,
+//!   then receives exactly that many completions before advancing the
+//!   clock, so no worker ever holds a core across an epoch;
+//! * **shutdown** — dropping the pool closes the job channels; workers
+//!   drain and exit, and `Drop` joins them (no detached threads).
+//!
+//! A worker panic (e.g. the privacy assert in
+//! [`crate::engine::advance_private`]) is caught, shipped back with the
+//! core, and resumed on the main thread intact — never converted into a
+//! hang or a disconnected-channel panic that buries the original message.
+//!
+//! [`EngineKind::Parallel`]: crate::EngineKind::Parallel
+//! [`Core`]: crate::Core
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::thread::JoinHandle;
+
+use crate::config::ChipConfig;
+use crate::core::Core;
+use crate::engine::{advance_private, PrivateScratch};
+
+/// One private-advance work item: advance `core` over `[from, end)` with
+/// at most `span` probes (see [`advance_private`]).
+pub(crate) struct Job {
+    pub(crate) core: Core,
+    pub(crate) idx: usize,
+    pub(crate) from: u64,
+    pub(crate) end: u64,
+    pub(crate) span: u32,
+}
+
+/// A completed job: the core comes home with its park cycle and
+/// accounting tallies, or with the payload of the panic that interrupted
+/// it (in which case `resume`/tallies are meaningless and the caller must
+/// propagate the panic).
+pub(crate) struct Advanced {
+    pub(crate) idx: usize,
+    pub(crate) core: Core,
+    pub(crate) resume: u64,
+    pub(crate) stepped: u64,
+    pub(crate) elided: u64,
+    pub(crate) burst: u64,
+    pub(crate) panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+/// The pinned worker pool: one long-lived thread per worker, a dedicated
+/// job channel each (so routing is deterministic) and one shared
+/// completion channel back.
+pub(crate) struct WorkerPool {
+    txs: Vec<Sender<Job>>,
+    done: Receiver<Advanced>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` (≥ 2; one worker runs inline without a pool)
+    /// threads, each with its own [`PrivateScratch`] built from `cfg`.
+    pub(crate) fn new(workers: usize, cfg: &ChipConfig) -> Self {
+        assert!(workers >= 2, "a 1-worker parallel engine runs inline");
+        let (done_tx, done) = channel();
+        let mut txs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for w in 0..workers {
+            let (tx, rx) = channel::<Job>();
+            let done_tx = done_tx.clone();
+            let cfg = cfg.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("synpa-worker-{w}"))
+                .spawn(move || worker_loop(rx, done_tx, cfg))
+                .expect("spawn parallel-engine worker");
+            txs.push(tx);
+            handles.push(handle);
+        }
+        Self { txs, done, handles }
+    }
+
+    /// Number of workers.
+    pub(crate) fn workers(&self) -> usize {
+        self.txs.len()
+    }
+
+    /// Deterministic core→worker routing (results never depend on it).
+    pub(crate) fn worker_of(&self, idx: usize) -> usize {
+        idx % self.txs.len()
+    }
+
+    /// Hands `job` to its core's worker. The caller owes one matching
+    /// [`WorkerPool::recv`] before the epoch ends.
+    pub(crate) fn submit(&self, job: Job) {
+        let w = self.worker_of(job.idx);
+        self.txs[w].send(job).expect("pool worker alive");
+    }
+
+    /// Receives one completed job (blocking). Arrival order is whatever
+    /// the workers' timing produced — the caller indexes by `idx` and
+    /// folds tallies commutatively, so the order is unobservable.
+    pub(crate) fn recv(&self) -> Advanced {
+        self.done.recv().expect("pool worker alive")
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends each worker's receive loop; the
+        // joins below make shutdown synchronous (the `done` receiver is
+        // still alive here, so a worker finishing an in-flight job can
+        // complete its final send rather than deadlock).
+        self.txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>, done: Sender<Advanced>, cfg: ChipConfig) {
+    let mut scratch = PrivateScratch::new();
+    while let Ok(job) = rx.recv() {
+        let Job {
+            mut core,
+            idx,
+            from,
+            end,
+            span,
+        } = job;
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            advance_private(&mut core, &cfg, from, end, span, &mut scratch)
+        }));
+        let adv = match out {
+            Ok((resume, stepped, elided, burst)) => Advanced {
+                idx,
+                core,
+                resume,
+                stepped,
+                elided,
+                burst,
+                panic: None,
+            },
+            Err(payload) => Advanced {
+                idx,
+                core,
+                resume: end,
+                stepped: 0,
+                elided: 0,
+                burst: 0,
+                panic: Some(payload),
+            },
+        };
+        if done.send(adv).is_err() {
+            break; // pool dropped with this job in flight
+        }
+    }
+}
+
+/// Strict `SYNPA_THREADS` parser: the worker-count override shared by the
+/// parallel engine and every experiment orchestrator.
+///
+/// Returns `None` when the variable is unset or empty (use the machine's
+/// parallelism); `Some(n)` for a positive integer. Anything else —
+/// `SYNPA_THREADS=1O`, `SYNPA_THREADS=0` — **aborts** with the accepted
+/// format, mirroring `SYNPA_ENGINE`'s strict handling: an explicit pin
+/// must never fall back silently, or a mistyped CI pin would quietly
+/// unpin the worker count and thread-count-independence claims would go
+/// untested at the intended count.
+pub fn threads_from_env() -> Option<usize> {
+    let v = std::env::var("SYNPA_THREADS").ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => Some(n),
+        Ok(_) => panic!("SYNPA_THREADS: worker count must be at least 1, got '{v}'"),
+        Err(_) => panic!(
+            "SYNPA_THREADS: unparseable value '{v}' (expected a positive integer, e.g. \
+             SYNPA_THREADS=4; unset or empty means machine parallelism)"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{PhaseParams, UniformProgram};
+    use crate::thread::HwThread;
+
+    fn busy_core(cfg: &ChipConfig, id: usize) -> Core {
+        let mut core = Core::new(id, cfg);
+        core.ctx[0] = Some(HwThread::new(
+            id,
+            Box::new(UniformProgram::new(
+                format!("p{id}"),
+                PhaseParams::compute(),
+                u64::MAX,
+            )),
+            42 ^ id as u64,
+            cfg.l1d.line_bytes as u64,
+        ));
+        core
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_total() {
+        let cfg = ChipConfig::thunderx2(1);
+        let pool = WorkerPool::new(3, &cfg);
+        assert_eq!(pool.workers(), 3);
+        for idx in 0..28 {
+            assert_eq!(pool.worker_of(idx), idx % 3);
+            // Stable across repeated queries (no load balancing).
+            assert_eq!(pool.worker_of(idx), pool.worker_of(idx));
+        }
+    }
+
+    /// The pool is built once per chip and reused across every epoch and
+    /// quantum: commit-then-dispatch barrier cycles must keep working,
+    /// batch after batch, on the same long-lived threads, with every core
+    /// making exactly-accounted progress. (Each core gets its own shared
+    /// state here — the interleaving discipline is the engine's job; this
+    /// pins the pool protocol itself.)
+    #[test]
+    fn barrier_cycles_reuse_the_pool_across_quanta() {
+        let cfg = ChipConfig::thunderx2(2);
+        let pool = WorkerPool::new(2, &cfg);
+        const QUANTUM: u64 = 1_000;
+        for idx in 0..4usize {
+            let mut core = Some(busy_core(&cfg, idx));
+            let mut llc = crate::cache::Cache::new(cfg.llc);
+            let mut mem = crate::mem::Memory::new(cfg.mem_latency, cfg.mem_queue_penalty);
+            let mut events = Vec::new();
+            let mut at = 0u64;
+            let mut round_trips = 0u32;
+            for q in 1..=20u64 {
+                let end = q * QUANTUM;
+                while at < end {
+                    // The rendezvous commit (main-thread side of the
+                    // protocol): execute the parked cycle exactly.
+                    mem.tick(at);
+                    let c = core.as_mut().unwrap();
+                    c.step(at, &cfg, &mut llc, &mut mem, &mut events);
+                    // Dispatch the following private stretch to the pool.
+                    pool.submit(Job {
+                        core: core.take().unwrap(),
+                        idx,
+                        from: at + 1,
+                        end,
+                        span: u32::MAX,
+                    });
+                    let adv = pool.recv();
+                    round_trips += 1;
+                    assert!(adv.panic.is_none(), "no worker panic");
+                    assert_eq!(adv.idx, idx);
+                    assert!(adv.resume > at && adv.resume <= end, "progress, clamped");
+                    assert_eq!(
+                        adv.stepped + adv.elided,
+                        adv.resume - at - 1,
+                        "worker accounts every advanced cycle exactly once"
+                    );
+                    core = Some(adv.core);
+                    at = adv.resume;
+                }
+            }
+            assert!(round_trips >= 20, "the pool served every quantum");
+        }
+    }
+
+    /// Dropping the pool joins the workers — including with a job still in
+    /// flight — instead of detaching or deadlocking.
+    #[test]
+    fn drop_joins_workers_with_job_in_flight() {
+        let cfg = ChipConfig::thunderx2(1);
+        let pool = WorkerPool::new(2, &cfg);
+        pool.submit(Job {
+            core: busy_core(&cfg, 0),
+            idx: 0,
+            from: 0,
+            end: 50_000,
+            span: u32::MAX,
+        });
+        drop(pool); // must return: join, not hang, with the job running
+    }
+}

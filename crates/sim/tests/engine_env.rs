@@ -37,7 +37,14 @@ fn synpa_engine_overrides_the_default_engine() {
         .downcast_ref::<String>()
         .cloned()
         .unwrap_or_else(|| err.downcast_ref::<&str>().unwrap_or(&"").to_string());
-    for expected in ["warp", "reference", "batched", "percore", "burst"] {
+    for expected in [
+        "warp",
+        "reference",
+        "batched",
+        "percore",
+        "burst",
+        "parallel",
+    ] {
         assert!(
             msg.contains(expected),
             "panic message {msg:?} lacks {expected}"

@@ -2,16 +2,21 @@
 //!
 //! The horizon engines' contract is *bit-identity*: for every seed, chip
 //! size and workload, `EngineKind::Batched` (chip-wide horizon),
-//! `EngineKind::PerCore` (per-core horizons with LLC-epoch rendezvous) and
+//! `EngineKind::PerCore` (per-core horizons with LLC-epoch rendezvous),
 //! `EngineKind::Burst` (private bursts between shared-state touches, with
-//! parked cycles replayed at their rendezvous epoch) must produce exactly
-//! the same PMU counters, completions, placements and `RunResult`s as the
-//! retained `EngineKind::Reference` cycle-by-cycle loop. These tests run
-//! all engines side by side over unit scenarios, full 28-core/56-thread
-//! chips, partial-occupancy and staggered-arrival managed runs, and
-//! proptest-randomized demand mixes — including a compute-bound /
-//! private-cache-heavy family (long private phases, rare LLC touches),
-//! the burst engine's best case and therefore its sharpest differential.
+//! parked cycles replayed at their rendezvous epoch) and
+//! `EngineKind::Parallel` (burst-style epochs with the private stretches
+//! sharded across a worker pool) must produce exactly the same PMU
+//! counters, completions, placements and `RunResult`s as the retained
+//! `EngineKind::Reference` cycle-by-cycle loop. The parallel engine is
+//! additionally checked at pinned worker counts (1 = the inline path,
+//! 4 = a real pool), because its contract is worker-count independence,
+//! not just engine equivalence. These tests run all engines side by side
+//! over unit scenarios, full 28-core/56-thread chips, partial-occupancy
+//! and staggered-arrival managed runs, and proptest-randomized demand
+//! mixes — including a compute-bound / private-cache-heavy family (long
+//! private phases, rare LLC touches), the burst engine's best case and
+//! therefore its sharpest differential.
 
 use proptest::prelude::*;
 use synpa::prelude::*;
@@ -75,6 +80,26 @@ fn private_phase() -> PhaseParams {
     }
 }
 
+/// Every engine at its default configuration, plus the parallel engine at
+/// pinned worker counts (1 = inline, no pool; 4 = real pool with barrier
+/// epochs), so the wall proves worker-count independence too. Index 0 is
+/// always the reference loop.
+fn engine_variants(cfg: &ChipConfig) -> Vec<(String, ChipConfig)> {
+    let mut v: Vec<(String, ChipConfig)> = EngineKind::ALL
+        .iter()
+        .map(|&e| (e.to_string(), cfg.clone().with_engine(e)))
+        .collect();
+    for workers in [1usize, 4] {
+        v.push((
+            format!("parallel x{workers}"),
+            cfg.clone()
+                .with_engine(EngineKind::Parallel)
+                .with_parallel_workers(workers),
+        ));
+    }
+    v
+}
+
 fn build(cfg: &ChipConfig, apps: &[(PhaseParams, u64)]) -> Chip {
     let mut chip = Chip::new(cfg.clone());
     for (i, &(params, len)) in apps.iter().enumerate() {
@@ -98,19 +123,17 @@ fn assert_equivalent(
     chunks: &[u64],
     swap: Option<(usize, usize, usize)>,
 ) {
-    let mut chips: Vec<Chip> = EngineKind::ALL
-        .iter()
-        .map(|&e| build(&cfg.clone().with_engine(e), apps))
-        .collect();
+    let variants = engine_variants(cfg);
+    let mut chips: Vec<Chip> = variants.iter().map(|(_, c)| build(c, apps)).collect();
     for (k, &n) in chunks.iter().enumerate() {
         let mut events = Vec::new();
-        for (chip, &engine) in chips.iter_mut().zip(&EngineKind::ALL) {
-            events.push((engine, chip.run_cycles(n)));
+        for (chip, (label, _)) in chips.iter_mut().zip(&variants) {
+            events.push((label, chip.run_cycles(n)));
         }
-        for (engine, ev) in &events[1..] {
+        for (label, ev) in &events[1..] {
             assert_eq!(
                 &events[0].1, ev,
-                "completions diverged from reference in chunk {k} ({engine})"
+                "completions diverged from reference in chunk {k} ({label})"
             );
         }
         let cycle = chips[0].cycle();
@@ -127,15 +150,15 @@ fn assert_equivalent(
     }
     let (reference, others) = chips.split_first().unwrap();
     for (j, other) in others.iter().enumerate() {
-        let engine = EngineKind::ALL[j + 1];
-        assert_eq!(reference.placement(), other.placement(), "{engine}");
+        let label = &variants[j + 1].0;
+        assert_eq!(reference.placement(), other.placement(), "{label}");
         for i in 0..apps.len() {
             assert_eq!(
                 reference.pmu_of(i).unwrap(),
                 other.pmu_of(i).unwrap(),
-                "PMU counters diverged for app {i} ({engine})"
+                "PMU counters diverged for app {i} ({label})"
             );
-            assert_eq!(reference.launches_of(i), other.launches_of(i), "{engine}");
+            assert_eq!(reference.launches_of(i), other.launches_of(i), "{label}");
         }
     }
 }
@@ -261,9 +284,37 @@ fn thunderx2_full_56_threads() {
     );
 }
 
+/// Non-reference engine configurations for managed-run fingerprints:
+/// every engine at its default, plus the parallel engine pinned to 1 and
+/// 4 workers (the contract is worker-count independence, and pinning
+/// keeps the tests deterministic regardless of the machine or any
+/// `SYNPA_THREADS` value in the environment).
+fn fingerprint_variants() -> Vec<(String, EngineKind, Option<usize>)> {
+    let mut v: Vec<(String, EngineKind, Option<usize>)> = EngineKind::ALL[1..]
+        .iter()
+        .map(|&e| (e.to_string(), e, None))
+        .collect();
+    for workers in [1usize, 4] {
+        v.push((
+            format!("parallel x{workers}"),
+            EngineKind::Parallel,
+            Some(workers),
+        ));
+    }
+    v
+}
+
+fn chip_cfg(cores: u32, engine: EngineKind, workers: Option<usize>) -> ChipConfig {
+    let cfg = ChipConfig::thunderx2(cores).with_engine(engine);
+    match workers {
+        Some(w) => cfg.with_parallel_workers(w),
+        None => cfg,
+    }
+}
+
 /// `Debug` output prints every field (f64s in shortest-round-trip form),
 /// so equal strings mean bit-identical run results.
-fn run_fingerprint(engine: EngineKind, policy_seed: u64) -> String {
+fn run_fingerprint(engine: EngineKind, workers: Option<usize>, policy_seed: u64) -> String {
     let names = [
         "mcf",
         "xalancbmk_r",
@@ -280,7 +331,7 @@ fn run_fingerprint(engine: EngineKind, policy_seed: u64) -> String {
         .collect();
     let solo = vec![1.0; 8];
     let cfg = ManagerConfig {
-        chip: ChipConfig::thunderx2(4).with_engine(engine),
+        chip: chip_cfg(4, engine, workers),
         ..Default::default()
     };
     let mut policy = RandomPairing::new(policy_seed);
@@ -292,9 +343,9 @@ fn run_fingerprint(engine: EngineKind, policy_seed: u64) -> String {
 fn managed_workload_run_is_bit_identical() {
     // RandomPairing migrates threads every quantum, so this covers the
     // whole manager loop: sampling, placement changes, completions.
-    let reference = run_fingerprint(EngineKind::Reference, 7);
-    for &engine in &EngineKind::ALL[1..] {
-        assert_eq!(reference, run_fingerprint(engine, 7), "{engine}");
+    let reference = run_fingerprint(EngineKind::Reference, None, 7);
+    for (label, engine, workers) in fingerprint_variants() {
+        assert_eq!(reference, run_fingerprint(engine, workers, 7), "{label}");
     }
 }
 
@@ -303,6 +354,7 @@ fn managed_workload_run_is_bit_identical() {
 /// skips whole cores for long stretches).
 fn arrivals_fingerprint(
     engine: EngineKind,
+    workers: Option<usize>,
     names: &[&str],
     arrivals: &[u64],
     cores: u32,
@@ -314,7 +366,7 @@ fn arrivals_fingerprint(
         .collect();
     let solo = vec![1.0; apps.len()];
     let cfg = ManagerConfig {
-        chip: ChipConfig::thunderx2(cores).with_engine(engine),
+        chip: chip_cfg(cores, engine, workers),
         ..Default::default()
     };
     let mut policy = RandomPairing::new(policy_seed);
@@ -327,12 +379,12 @@ fn partial_occupancy_managed_run_is_bit_identical() {
     // 4 apps on a 4-core/8-thread chip: half the cores are empty all run,
     // exactly where the per-core engine elides the most.
     let names = ["mcf", "gobmk", "hmmer", "astar"];
-    let reference = arrivals_fingerprint(EngineKind::Reference, &names, &[], 4, 3);
-    for &engine in &EngineKind::ALL[1..] {
+    let reference = arrivals_fingerprint(EngineKind::Reference, None, &names, &[], 4, 3);
+    for (label, engine, workers) in fingerprint_variants() {
         assert_eq!(
             reference,
-            arrivals_fingerprint(engine, &names, &[], 4, 3),
-            "{engine}"
+            arrivals_fingerprint(engine, workers, &names, &[], 4, 3),
+            "{label}"
         );
     }
 }
@@ -343,12 +395,12 @@ fn phase_shifted_managed_run_is_bit_identical() {
     // thread count changes mid-run (attach path under every engine).
     let names = ["mcf", "xalancbmk_r", "gobmk", "perlbench", "nab_r", "hmmer"];
     let arrivals = [0, 0, 20_000, 20_000, 45_000, 45_000];
-    let reference = arrivals_fingerprint(EngineKind::Reference, &names, &arrivals, 4, 9);
-    for &engine in &EngineKind::ALL[1..] {
+    let reference = arrivals_fingerprint(EngineKind::Reference, None, &names, &arrivals, 4, 9);
+    for (label, engine, workers) in fingerprint_variants() {
         assert_eq!(
             reference,
-            arrivals_fingerprint(engine, &names, &arrivals, 4, 9),
-            "{engine}"
+            arrivals_fingerprint(engine, workers, &names, &arrivals, 4, 9),
+            "{label}"
         );
     }
 }
@@ -405,13 +457,13 @@ proptest! {
         let names: Vec<&str> = (0..n).map(|k| pool[(app_pick + 3 * k) % pool.len()]).collect();
         // Waves of two apps each, `wave_gap` cycles apart.
         let arrivals: Vec<u64> = (0..n).map(|k| (k / 2) as u64 * wave_gap).collect();
-        let reference =
-            arrivals_fingerprint(EngineKind::Reference, &names, &arrivals, cores, policy_seed);
-        for &engine in &EngineKind::ALL[1..] {
+        let reference = arrivals_fingerprint(
+            EngineKind::Reference, None, &names, &arrivals, cores, policy_seed);
+        for (label, engine, workers) in fingerprint_variants() {
             prop_assert_eq!(
                 &reference,
-                &arrivals_fingerprint(engine, &names, &arrivals, cores, policy_seed),
-                "{}", engine
+                &arrivals_fingerprint(engine, workers, &names, &arrivals, cores, policy_seed),
+                "{}", label
             );
         }
     }
