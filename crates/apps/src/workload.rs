@@ -53,8 +53,9 @@ pub struct Workload {
     /// arrives at cycle 0 (the paper's methodology). Non-zero arrivals are
     /// honoured at the first quantum boundary at or after the cycle, and
     /// each app's turnaround time is measured from its arrival. Apps
-    /// sharing an arrival cycle form one *wave*; waves must be even-sized
-    /// so SMT pairing policies always see an even thread count.
+    /// sharing an arrival cycle form one *wave*; waves may be any size,
+    /// including odd — a core then runs a single thread until the pairing
+    /// policies find it a partner.
     pub arrivals: Vec<u64>,
     /// Per-app launch-target scale, parallel to `apps`. Empty means every
     /// app keeps its calibrated target (scale 1.0, the paper's
@@ -341,6 +342,170 @@ pub fn by_name(name: &str) -> Option<Workload> {
     standard_suite().into_iter().find(|w| w.name == name)
 }
 
+/// A seeded open-system arrival trace: application `apps[k]` arrives at
+/// cycle `arrivals[k]` (non-decreasing). Unlike a [`Workload`] — a closed
+/// batch that runs to collective completion — a trace feeds the admission
+/// queue of the open-system scheduler service, where apps stream in,
+/// finish their single launch, and leave. Built by [`poisson_trace`] and
+/// [`bursty_trace`]; deterministic per `(kind, count, rate params, seed)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalTrace {
+    /// Trace name (shows up in result tables).
+    pub name: String,
+    /// App-mix family the per-arrival draws follow.
+    pub kind: WorkloadKind,
+    /// Application names in arrival order.
+    pub apps: Vec<String>,
+    /// Arrival cycle per app, parallel to `apps`, non-decreasing.
+    pub arrivals: Vec<u64>,
+}
+
+impl ArrivalTrace {
+    /// Number of arrivals in the trace.
+    pub fn len(&self) -> usize {
+        self.apps.len()
+    }
+
+    /// `true` when the trace has no arrivals.
+    pub fn is_empty(&self) -> bool {
+        self.apps.is_empty()
+    }
+
+    /// Cycle of the last arrival (0 for an empty trace).
+    pub fn span(&self) -> u64 {
+        self.arrivals.last().copied().unwrap_or(0)
+    }
+
+    /// The trace as a [`Workload`], so [`prepare_workload`]-style
+    /// calibration drivers work unchanged on open-system inputs.
+    ///
+    /// [`prepare_workload`]: https://docs.rs/synpa-sched
+    pub fn to_workload(&self) -> Workload {
+        Workload {
+            name: self.name.clone(),
+            kind: self.kind,
+            apps: self.apps.clone(),
+            arrivals: self.arrivals.clone(),
+            target_scale: Vec::new(),
+        }
+    }
+}
+
+/// One app drawn per arrival, following `kind`'s family recipe: the
+/// "intensive" families pick the dominant group with probability 11/16
+/// (the midpoint of the paper's 5/8–6/8 fraction), `Mixed` flips a fair
+/// coin between the two bound groups.
+fn trace_app(rng: &mut StdRng, kind: WorkloadKind) -> String {
+    match kind {
+        WorkloadKind::BackendIntensive | WorkloadKind::FrontendIntensive => {
+            let dominant = group_members(if kind == WorkloadKind::BackendIntensive {
+                Group::BackendBound
+            } else {
+                Group::FrontendBound
+            });
+            if rng.random_bool(11.0 / 16.0) {
+                pick(rng, &dominant)
+            } else {
+                pick(rng, &group_members(Group::Others))
+            }
+        }
+        WorkloadKind::Mixed => {
+            if rng.random_bool(0.5) {
+                pick(rng, &group_members(Group::BackendBound))
+            } else {
+                pick(rng, &group_members(Group::FrontendBound))
+            }
+        }
+    }
+}
+
+/// One exponential inter-arrival gap with the given mean, by inverse CDF.
+/// `1 - U` keeps the logarithm's argument in `(0, 1]`.
+fn exp_gap(rng: &mut StdRng, mean: f64) -> f64 {
+    let u: f64 = rng.random_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// A Poisson arrival trace: `count` applications with exponential
+/// inter-arrival gaps of mean `mean_gap_cycles`. Offered load scales as
+/// `1 / mean_gap_cycles`; sweeping the gap sweeps the service from a
+/// mostly-idle chip to saturation. Deterministic per
+/// `(kind, count, mean_gap_cycles, seed)`.
+pub fn poisson_trace(
+    name: &str,
+    kind: WorkloadKind,
+    count: usize,
+    mean_gap_cycles: f64,
+    seed: u64,
+) -> ArrivalTrace {
+    assert!(
+        mean_gap_cycles > 0.0,
+        "mean inter-arrival gap must be positive, got {mean_gap_cycles}"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    let mut apps = Vec::with_capacity(count);
+    let mut arrivals = Vec::with_capacity(count);
+    for _ in 0..count {
+        at += exp_gap(&mut rng, mean_gap_cycles);
+        arrivals.push(at as u64);
+        apps.push(trace_app(&mut rng, kind));
+    }
+    ArrivalTrace {
+        name: name.to_string(),
+        kind,
+        apps,
+        arrivals,
+    }
+}
+
+/// A bursty (diurnal) arrival trace: Poisson arrivals whose rate follows a
+/// square wave of period `period_cycles` — during the first half of each
+/// period (the *storm*) the mean gap is `mean_gap_cycles / burstiness`,
+/// during the second half (the *lull*) it is `mean_gap_cycles *
+/// burstiness`. `burstiness = 1.0` degenerates to [`poisson_trace`];
+/// `burstiness = 4.0` concentrates ~94% of arrivals into the storms. This
+/// is the overload generator: storms overfill the chip and exercise the
+/// admission queue and shedding path, lulls let it drain. Deterministic
+/// per `(kind, count, rate params, seed)`.
+pub fn bursty_trace(
+    name: &str,
+    kind: WorkloadKind,
+    count: usize,
+    mean_gap_cycles: f64,
+    burstiness: f64,
+    period_cycles: u64,
+    seed: u64,
+) -> ArrivalTrace {
+    assert!(
+        mean_gap_cycles > 0.0,
+        "mean inter-arrival gap must be positive, got {mean_gap_cycles}"
+    );
+    assert!(burstiness >= 1.0, "burstiness must be >= 1.0");
+    assert!(period_cycles >= 2, "period must be at least 2 cycles");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut at = 0.0f64;
+    let mut apps = Vec::with_capacity(count);
+    let mut arrivals = Vec::with_capacity(count);
+    for _ in 0..count {
+        let storm = (at as u64) % period_cycles < period_cycles / 2;
+        let mean = if storm {
+            mean_gap_cycles / burstiness
+        } else {
+            mean_gap_cycles * burstiness
+        };
+        at += exp_gap(&mut rng, mean);
+        arrivals.push(at as u64);
+        apps.push(trace_app(&mut rng, kind));
+    }
+    ArrivalTrace {
+        name: name.to_string(),
+        kind,
+        apps,
+        arrivals,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -361,6 +526,67 @@ mod tests {
     #[test]
     fn suite_is_deterministic() {
         assert_eq!(standard_suite(), standard_suite());
+    }
+
+    #[test]
+    fn poisson_trace_is_deterministic_sorted_and_known() {
+        let t = poisson_trace("ln0", WorkloadKind::Mixed, 100, 20_000.0, 0xA11CE);
+        assert_eq!(
+            t,
+            poisson_trace("ln0", WorkloadKind::Mixed, 100, 20_000.0, 0xA11CE)
+        );
+        assert_eq!(t.len(), 100);
+        assert!(t.arrivals.windows(2).all(|w| w[0] <= w[1]));
+        for a in &t.apps {
+            assert!(expected_group(a).is_some(), "unknown app {a}");
+        }
+        // The empirical mean gap should be in the ballpark of the target
+        // (loose bound: 100 exponential draws).
+        let mean = t.span() as f64 / t.len() as f64;
+        assert!(
+            (10_000.0..40_000.0).contains(&mean),
+            "empirical mean gap {mean} far from the 20_000 target"
+        );
+        // A different seed yields a different trace.
+        assert_ne!(
+            t,
+            poisson_trace("ln0", WorkloadKind::Mixed, 100, 20_000.0, 0xB0B)
+        );
+    }
+
+    #[test]
+    fn bursty_trace_concentrates_arrivals_into_storms() {
+        let period = 400_000u64;
+        let t = bursty_trace("bn0", WorkloadKind::Mixed, 400, 10_000.0, 4.0, period, 7);
+        assert_eq!(
+            t,
+            bursty_trace("bn0", WorkloadKind::Mixed, 400, 10_000.0, 4.0, period, 7)
+        );
+        assert!(t.arrivals.windows(2).all(|w| w[0] <= w[1]));
+        let in_storm = t
+            .arrivals
+            .iter()
+            .filter(|&&a| a % period < period / 2)
+            .count();
+        assert!(
+            in_storm * 4 > t.len() * 3,
+            "only {in_storm}/{} arrivals fell in storms",
+            t.len()
+        );
+        // burstiness = 1 degenerates to plain Poisson.
+        assert_eq!(
+            bursty_trace("x", WorkloadKind::Mixed, 50, 10_000.0, 1.0, period, 9).arrivals,
+            poisson_trace("x", WorkloadKind::Mixed, 50, 10_000.0, 9).arrivals
+        );
+    }
+
+    #[test]
+    fn trace_round_trips_to_a_workload() {
+        let t = poisson_trace("ln1", WorkloadKind::BackendIntensive, 10, 5_000.0, 3);
+        let w = t.to_workload();
+        assert_eq!(w.apps, t.apps);
+        assert_eq!(w.arrivals, t.arrivals);
+        assert!(w.target_scale.is_empty());
     }
 
     #[test]

@@ -93,6 +93,26 @@ pub fn stp(individual_speedups: &[f64]) -> f64 {
     individual_speedups.iter().sum()
 }
 
+/// Nearest-rank percentile of an (unsorted) integer sample: the smallest
+/// element such that at least `p`% of the sample is ≤ it. `p` must be in
+/// `(0, 100]`; an empty sample yields 0. The open-system latency metric
+/// (p50/p95/p99 turnaround) — nearest-rank keeps the result an actual
+/// observation, so tables stay in whole cycles and byte-stable across
+/// platforms (no interpolation arithmetic).
+pub fn percentile(sample: &[u64], p: f64) -> u64 {
+    assert!(
+        p > 0.0 && p <= 100.0,
+        "percentile must be in (0, 100], got {p}"
+    );
+    if sample.is_empty() {
+        return 0;
+    }
+    let mut sorted = sample.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +154,25 @@ mod tests {
     fn tt_speedup_direction() {
         assert!((tt_speedup(200.0, 100.0) - 2.0).abs() < 1e-12);
         assert!(tt_speedup(100.0, 200.0) < 1.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let xs = [15, 20, 35, 40, 50];
+        assert_eq!(percentile(&xs, 30.0), 20); // classic nearest-rank example
+        assert_eq!(percentile(&xs, 40.0), 20);
+        assert_eq!(percentile(&xs, 50.0), 35);
+        assert_eq!(percentile(&xs, 100.0), 50);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+        // Order-free: the sample need not be sorted.
+        assert_eq!(percentile(&[50, 15, 40, 20, 35], 50.0), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile")]
+    fn percentile_rejects_zero_p() {
+        percentile(&[1, 2, 3], 0.0);
     }
 
     #[test]

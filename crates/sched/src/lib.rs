@@ -10,6 +10,9 @@
 //!   against, plus [`RandomPairing`] and [`OracleSynpa`] ablations;
 //! * [`run_workload`] — the quantum loop with the §V-B relaunch
 //!   methodology;
+//! * [`run_service`] — the open-system front end: streaming arrivals
+//!   through a bounded admission queue, detach on completion, re-pairing
+//!   under churn, turnaround/sojourn latencies (see `docs/service.md`);
 //! * [`run_cell`] / [`prepare_workload`] — the repetition + outlier-discard
 //!   experiment driver.
 
@@ -19,9 +22,11 @@
 mod manager;
 mod policy;
 mod runner;
+mod service;
 
 pub use manager::{
-    run_workload, run_workload_with_arrivals, AppResult, ManagerConfig, QuantumRow, RunResult,
+    first_free_slot, run_workload, run_workload_with_arrivals, AppResult, ManagerConfig,
+    QuantumRow, RunResult,
 };
 pub use policy::{
     pairs_to_slots, GreedySynpa, LinuxLike, OracleSynpa, Policy, QuantumView, RandomPairing,
@@ -31,3 +36,4 @@ pub use runner::{
     cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome, ExperimentConfig,
     PreparedWorkload,
 };
+pub use service::{run_service, ServiceApp, ServiceConfig, ServiceResult};

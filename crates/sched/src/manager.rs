@@ -49,13 +49,24 @@ pub struct AppResult {
     pub name: String,
     /// Target instructions per launch (§V-B).
     pub target: u64,
-    /// Cycle at which the first launch completed (the app's turnaround
-    /// time).
+    /// Turnaround time in cycles, measured from the app's arrival. For a
+    /// completed app this is the first-launch completion; for an app the
+    /// quanta cap cut off mid-flight it is the censored elapsed time (a
+    /// lower bound on the true TT); for an app that never reached the chip
+    /// it is 0. Check [`AppResult::completed`] before treating it as a
+    /// turnaround measurement.
     pub tt_cycles: u64,
-    /// IPC over the first launch (`target / tt_cycles`).
+    /// IPC of the first launch. Completed apps report `target / tt_cycles`;
+    /// capped-but-running apps report the *measured* IPC of their partial
+    /// launch (retired instructions over on-chip cycles) — never a value
+    /// fabricated from a clamped turnaround; never-placed apps report 0.
     pub ipc: f64,
     /// Isolated-execution IPC reference (from target-length measurement).
     pub solo_ipc: f64,
+    /// Whether the first launch actually completed within the quanta cap.
+    /// When `false`, `tt_cycles` and `ipc` are censored observations (or
+    /// zero for an app that never arrived/was never placed), not results.
+    pub completed: bool,
 }
 
 impl AppResult {
@@ -82,6 +93,10 @@ pub struct RunResult {
     pub quanta: u64,
     /// Thread migrations performed (core changes).
     pub migrations: u64,
+    /// `true` when the `max_quanta` cap fired with at least one app still
+    /// unfinished (its [`AppResult::completed`] is `false`); the workload
+    /// TT is then a lower bound, not a measurement.
+    pub capped: bool,
 }
 
 /// Manager configuration.
@@ -126,8 +141,10 @@ pub fn run_workload(
 /// every app arriving at cycle 0 this reproduces the classic arrival-order
 /// placement (app *k* on ctx 0 of core *k*, app *k + n/2* on ctx 1 of core
 /// *k*); mid-run it is the "place on an idle core first" behaviour of a
-/// load-balancing OS.
-fn first_free_slot(chip: &Chip) -> Option<Slot> {
+/// load-balancing OS. `None` means the chip is full — the caller keeps the
+/// app pending until a slot frees (the admission primitive shared by the
+/// closed-batch manager and the open-system [`crate::service`]).
+pub fn first_free_slot(chip: &Chip) -> Option<Slot> {
     let smt = chip.config().core.smt_ways as usize;
     let cores = chip.config().cores as usize;
     let occupied: std::collections::HashSet<usize> =
@@ -143,17 +160,85 @@ fn first_free_slot(chip: &Chip) -> Option<Slot> {
     None
 }
 
+/// Appends one [`QuantumRow`] per sampled app to `trace` (the Fig. 6/7 and
+/// Table V raw material). Shared by the closed-batch manager and any
+/// front end that wants the same per-quantum characterization log.
+pub(crate) fn log_quantum(
+    trace: &mut Vec<QuantumRow>,
+    quantum: u64,
+    samples: &[(usize, synpa_sim::PmuDelta)],
+    placement: &[(usize, Slot)],
+    smt: usize,
+    width: u32,
+) {
+    let co_runner_of = |app: usize| -> usize {
+        let slot = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
+        let core = slot.core(smt);
+        placement
+            .iter()
+            .find(|&&(a, s)| a != app && s.core(smt) == core)
+            .map(|&(a, _)| a)
+            .unwrap_or(app)
+    };
+    for &(app, ref delta) in samples {
+        trace.push(QuantumRow {
+            quantum,
+            app,
+            categories: Categories::from_delta(delta, width),
+            co_runner: co_runner_of(app),
+            retired: delta.inst_retired,
+            cycles: delta.cpu_cycles,
+        });
+    }
+}
+
+/// Builds the [`QuantumView`], asks `policy` for a placement, counts core
+/// changes into `migrations` and applies the decision. The per-quantum
+/// decision step shared by [`run_workload_with_arrivals`] and the
+/// open-system [`crate::service`].
+pub(crate) fn decide_and_apply(
+    chip: &mut Chip,
+    policy: &mut dyn Policy,
+    quantum: u64,
+    samples: &[(usize, synpa_sim::PmuDelta)],
+    placement: &[(usize, Slot)],
+    migrations: &mut u64,
+) {
+    let smt = chip.config().core.smt_ways as usize;
+    let view = QuantumView {
+        quantum,
+        samples,
+        placement,
+        smt_ways: smt,
+        dispatch_width: chip.config().core.dispatch_width,
+    };
+    if let Some(new_placement) = policy.decide(&view) {
+        for &(app, new_slot) in &new_placement {
+            let old = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
+            if old.core(smt) != new_slot.core(smt) {
+                *migrations += 1;
+            }
+        }
+        chip.set_placement(&new_placement);
+    }
+}
+
 /// [`run_workload`] with per-app arrival cycles (`arrivals[k]` for app *k*;
 /// an empty slice means everyone arrives at cycle 0). Any other length
 /// mismatch panics — a truncated arrival list would otherwise silently run
 /// the tail at cycle 0 and corrupt per-app turnaround times.
 ///
-/// Apps may underfill the chip (partial occupancy) and may arrive
-/// staggered: each app is attached at the first quantum boundary at or
-/// after its arrival cycle, onto the first free slot in (context, core)
-/// order. Each app's turnaround time is measured from its own arrival.
-/// Apps sharing an arrival cycle must form even-sized waves so the placed
-/// thread count stays even for SMT pairing policies.
+/// Apps may underfill the chip (partial occupancy), overfill it
+/// (oversubscription), and may arrive staggered: each app is attached at
+/// the first quantum boundary at or after its arrival cycle, onto the
+/// first free slot in (context, core) order; an app arriving while the
+/// chip is full stays pending (FIFO) until a slot frees. In this closed
+/// batch no slot ever frees (apps relaunch in place, §V-B), so an
+/// oversubscribed workload runs to the quanta cap and the never-placed
+/// tail is flagged `completed: false` — it does not panic. Waves may be
+/// any size, including odd: a core then simply runs one thread, and the
+/// pairing policies place the unpaired app alone. Each app's turnaround
+/// time is measured from its own arrival.
 pub fn run_workload_with_arrivals(
     apps: &[AppProfile],
     solo_ipc: &[f64],
@@ -162,12 +247,6 @@ pub fn run_workload_with_arrivals(
     arrivals: &[u64],
 ) -> RunResult {
     let n = apps.len();
-    let slots = cfg.chip.hw_threads();
-    assert!(
-        n <= slots,
-        "workload size {n} exceeds the chip's {slots} hardware threads"
-    );
-    assert!(n % 2 == 0, "workload size must be even (SMT2 pairing)");
     assert_eq!(solo_ipc.len(), n);
     // A partially-filled arrivals slice is almost always a bug (a workload
     // edited without its arrival list): refusing it beats silently running
@@ -179,42 +258,40 @@ pub fn run_workload_with_arrivals(
         arrivals.len()
     );
     let arrival = |k: usize| arrivals.get(k).copied().unwrap_or(0);
-    {
-        let mut by_cycle: std::collections::BTreeMap<u64, usize> =
-            std::collections::BTreeMap::new();
-        for k in 0..n {
-            *by_cycle.entry(arrival(k)).or_default() += 1;
-        }
-        assert!(
-            by_cycle.values().all(|&c| c % 2 == 0),
-            "arrival waves must be even-sized (SMT2 pairing): {by_cycle:?}"
-        );
-    }
     let smt = cfg.chip.core.smt_ways as usize;
     let width = cfg.chip.core.dispatch_width;
 
     let mut chip = Chip::new(cfg.chip.clone());
-    // Pending arrivals in (cycle, index) order; attach everything due.
+    // Pending arrivals in (cycle, index) order, consumed through a cursor —
+    // `remove(0)` would be O(n²) over a long arrival trace.
     let mut pending: Vec<usize> = (0..n).collect();
     pending.sort_by_key(|&k| (arrival(k), k));
+    let mut next_pending = 0usize;
 
     let ids: Vec<usize> = (0..n).collect();
     let mut session = SamplingSession::new();
     let mut trace = Vec::new();
     let mut tt: Vec<Option<u64>> = vec![None; n];
+    let mut attached_at: Vec<Option<u64>> = vec![None; n];
     let mut migrations = 0u64;
     let mut quantum = 0u64;
 
     while quantum < cfg.max_quanta && tt.iter().any(|t| t.is_none()) {
-        // Attach every app whose arrival cycle has been reached (at cycle 0
-        // this is the whole workload in the classic methodology).
-        while let Some(&k) = pending.first() {
+        // Attach every due app there is room for (at cycle 0 this is the
+        // whole workload in the classic methodology). A due app that finds
+        // the chip full stays pending; admission is strictly FIFO, so apps
+        // behind it wait too.
+        while next_pending < n {
+            let k = pending[next_pending];
             if arrival(k) > chip.cycle() {
                 break;
             }
-            let slot = first_free_slot(&chip).expect("even waves never overfill the chip");
+            let Some(slot) = first_free_slot(&chip) else {
+                break;
+            };
             chip.attach(slot, k, Box::new(apps[k].clone()));
-            pending.remove(0);
+            attached_at[k] = Some(chip.cycle());
+            next_pending += 1;
         }
         // Absolute quantum boundaries: the engine (reference, batched or
         // percore, per `cfg.chip.engine`) advances to exactly this cycle.
@@ -226,69 +303,57 @@ pub fn run_workload_with_arrivals(
         }
         let samples = session.sample(&chip, &ids);
         let placement = chip.placement();
-
-        // Log the quantum for every app.
-        let co_runner_of = |app: usize| -> usize {
-            let slot = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
-            let core = slot.core(smt);
-            placement
-                .iter()
-                .find(|&&(a, s)| a != app && s.core(smt) == core)
-                .map(|&(a, _)| a)
-                .unwrap_or(app)
-        };
-        for &(app, ref delta) in &samples {
-            trace.push(QuantumRow {
-                quantum,
-                app,
-                categories: Categories::from_delta(delta, width),
-                co_runner: co_runner_of(app),
-                retired: delta.inst_retired,
-                cycles: delta.cpu_cycles,
-            });
-        }
-
-        // Policy decision.
-        let view = QuantumView {
+        log_quantum(&mut trace, quantum, &samples, &placement, smt, width);
+        decide_and_apply(
+            &mut chip,
+            policy,
             quantum,
-            samples: &samples,
-            placement: &placement,
-            smt_ways: smt,
-            dispatch_width: width,
-        };
-        if let Some(new_placement) = policy.decide(&view) {
-            for &(app, new_slot) in &new_placement {
-                let old = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
-                if old.core(smt) != new_slot.core(smt) {
-                    migrations += 1;
-                }
-            }
-            chip.set_placement(&new_placement);
-        }
+            &samples,
+            &placement,
+            &mut migrations,
+        );
         quantum += 1;
     }
 
-    // Apps that never finished within the cap get the cap as their TT
-    // (flagged by quanta == max_quanta).
+    // End-of-run accounting. An app the cap cut off mid-flight reports its
+    // censored elapsed time and its *measured* partial-launch IPC; an app
+    // that never reached the chip (arrived after the cap, or kept pending
+    // by a full chip) reports zeroes. Both are flagged `completed: false` —
+    // the old behaviour fabricated `ipc = length / clamp(TT, 1)`, which
+    // rewarded exactly the apps that did the least work.
     let end_cycle = chip.cycle();
     let per_app = apps
         .iter()
         .enumerate()
         .map(|(k, app)| {
-            let tt_cycles = tt[k].unwrap_or_else(|| end_cycle.saturating_sub(arrival(k)));
+            let (tt_cycles, ipc, completed) = match (tt[k], attached_at[k]) {
+                (Some(t), _) => (t, app.length() as f64 / t.max(1) as f64, true),
+                (None, Some(at)) => {
+                    let retired = chip.pmu_of(k).map(|p| p.inst_retired).unwrap_or(0);
+                    let on_chip = end_cycle.saturating_sub(at).max(1);
+                    (
+                        end_cycle.saturating_sub(arrival(k)),
+                        retired as f64 / on_chip as f64,
+                        false,
+                    )
+                }
+                (None, None) => (0, 0.0, false),
+            };
             AppResult {
                 app: k,
                 name: app.name().to_string(),
                 target: app.length(),
                 tt_cycles,
-                ipc: app.length() as f64 / tt_cycles.max(1) as f64,
+                ipc,
                 solo_ipc: solo_ipc[k],
+                completed,
             }
         })
         .collect::<Vec<_>>();
     RunResult {
         policy: policy.name().to_string(),
         tt_cycles: per_app.iter().map(|a| a.tt_cycles).max().unwrap_or(0),
+        capped: per_app.iter().any(|a| !a.completed),
         per_app,
         trace,
         quanta: quantum,
@@ -454,24 +519,126 @@ mod tests {
         assert_eq!(base.quanta, zeros.quanta);
     }
 
+    /// Regression (odd-wave restriction): odd waves used to be rejected
+    /// with an "arrival waves must be even-sized" assert. A core now simply
+    /// runs one thread until the next wave pairs it up.
     #[test]
-    #[should_panic(expected = "even-sized")]
-    fn odd_arrival_wave_panics() {
+    fn odd_arrival_waves_are_legal_and_finish() {
         let (apps, solo) = small_workload();
         let cfg = ManagerConfig::default();
         let arrivals = [0, 0, 0, 0, 0, 10_000, 10_000, 10_000];
-        run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+        let result = run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+        assert!(result.quanta < cfg.max_quanta, "must finish under the cap");
+        assert!(!result.capped);
+        assert!(result.per_app.iter().all(|a| a.completed));
     }
 
+    /// Odd waves under a migrating pairing policy: the re-pairing path must
+    /// handle the unpaired app every quantum.
     #[test]
-    #[should_panic(expected = "exceeds")]
-    fn oversized_workload_panics() {
+    fn odd_waves_work_under_a_migrating_policy() {
         let (apps, solo) = small_workload();
+        let apps = apps[..7].to_vec(); // odd total: one app is always single
+        let solo = solo[..7].to_vec();
+        let cfg = ManagerConfig::default();
+        let arrivals = [0, 0, 0, 20_000, 20_000, 20_000, 20_000];
+        let mut policy = RandomPairing::new(5);
+        let result = run_workload_with_arrivals(&apps, &solo, &mut policy, &cfg, &arrivals);
+        assert!(result.quanta < cfg.max_quanta, "must finish under the cap");
+        assert!(result.per_app.iter().all(|a| a.completed));
+        assert!(
+            result.migrations > 0,
+            "policy still re-pairs around the single"
+        );
+    }
+
+    /// Regression (full-chip arrival panic): an arrival while every slot is
+    /// occupied used to hit `expect("even waves never overfill the chip")`.
+    /// The app now stays pending; in the closed batch no slot ever frees,
+    /// so it runs to the cap flagged incomplete instead of panicking.
+    #[test]
+    fn arrival_while_full_stays_pending_instead_of_panicking() {
+        let (apps, solo) = small_workload();
+        let apps = apps[..6].to_vec();
+        let solo = solo[..6].to_vec();
         let cfg = ManagerConfig {
-            chip: ChipConfig::thunderx2(2), // 4 slots for 8 apps
+            chip: ChipConfig::thunderx2(2), // 4 slots for 6 apps
+            max_quanta: 60,
             ..Default::default()
         };
-        run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        let arrivals = [0, 0, 0, 0, 10_000, 10_000];
+        let result = run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+        assert!(result.capped, "the pending tail can never be placed");
+        assert_eq!(result.quanta, cfg.max_quanta);
+        for k in 4..6 {
+            let a = &result.per_app[k];
+            assert!(!a.completed, "app {k} never reached the chip");
+            assert_eq!(a.tt_cycles, 0);
+            assert_eq!(a.ipc, 0.0);
+        }
+        // The first wave kept running normally the whole time.
+        assert!(result.per_app[..4].iter().all(|a| a.completed));
+    }
+
+    /// Regression (capped-run turnaround): an app still unfinished when
+    /// `max_quanta` fires used to get `tt = end - arrival` clamped to 0 and
+    /// then `ipc = length / 1` — an absurdly flattering IPC. Unfinished
+    /// apps must be flagged and report measured (or zero) IPC only.
+    #[test]
+    fn capped_run_never_fabricates_ipc() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig {
+            max_quanta: 5, // cap fires at cycle 50_000
+            ..Default::default()
+        };
+        // Last wave arrives beyond the cap: pre-fix it reported
+        // tt_cycles = 0 and ipc = 30_000.
+        let arrivals = [0, 0, 0, 0, 0, 0, 80_000, 80_000];
+        let result = run_workload_with_arrivals(&apps, &solo, &mut LinuxLike, &cfg, &arrivals);
+        assert!(result.capped);
+        let width = cfg.chip.core.dispatch_width as f64;
+        for a in &result.per_app {
+            assert!(
+                a.ipc <= width,
+                "app {} reports impossible ipc {} (> dispatch width)",
+                a.app,
+                a.ipc
+            );
+        }
+        for k in 6..8 {
+            let a = &result.per_app[k];
+            assert!(!a.completed);
+            assert_eq!(a.tt_cycles, 0, "never arrived: no fabricated turnaround");
+            assert_eq!(a.ipc, 0.0, "never arrived: no fabricated IPC");
+        }
+    }
+
+    /// A capped app that *was* running reports its measured partial-launch
+    /// IPC (a plausible value), with the censored elapsed time as TT.
+    #[test]
+    fn capped_mid_flight_app_reports_measured_ipc() {
+        let names = ["mcf", "gobmk", "hmmer", "astar"];
+        let apps: Vec<AppProfile> = names
+            .iter()
+            .map(|n| spec::by_name(n).unwrap().with_length(10_000_000))
+            .collect();
+        let solo = vec![1.0; 4];
+        let cfg = ManagerConfig {
+            max_quanta: 4,
+            ..Default::default()
+        };
+        let result = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        assert!(result.capped);
+        let end = cfg.max_quanta * cfg.quantum_cycles;
+        for a in &result.per_app {
+            assert!(!a.completed);
+            assert_eq!(a.tt_cycles, end, "censored elapsed time, not a clamp");
+            assert!(a.ipc > 0.0, "ran the whole time: measured IPC is positive");
+            assert!(
+                a.ipc <= cfg.chip.core.dispatch_width as f64,
+                "measured, not fabricated from the target length"
+            );
+        }
     }
 
     #[test]
@@ -483,6 +650,7 @@ mod tests {
             tt_cycles: 2000,
             ipc: 0.5,
             solo_ipc: 1.0,
+            completed: true,
         };
         assert!((r.individual_speedup() - 0.5).abs() < 1e-12);
     }

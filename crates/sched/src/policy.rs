@@ -48,6 +48,26 @@ impl QuantumView<'_> {
             .collect()
     }
 
+    /// Applications running alone on their core (no SMT co-runner), in
+    /// core order. Non-empty whenever the placed thread count is odd or
+    /// the placement leaves half-empty cores — both legal in the
+    /// open-system regime where apps detach on completion.
+    pub fn singles(&self) -> Vec<usize> {
+        let mut by_core: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for &(app, slot) in self.placement {
+            by_core
+                .entry(slot.core(self.smt_ways))
+                .or_default()
+                .push(app);
+        }
+        by_core
+            .into_values()
+            .filter(|v| v.len() == 1)
+            .map(|v| v[0])
+            .collect()
+    }
+
     /// The counter delta of one application, if sampled this quantum.
     pub fn delta_of(&self, app: usize) -> Option<&PmuDelta> {
         self.samples
@@ -68,9 +88,25 @@ pub trait Policy: Send {
 }
 
 /// Assigns pairs to cores, keeping each pair on a core that already hosts
-/// one of its members when possible (minimizes migrations).
+/// one of its members when possible (minimizes migrations). Even-count
+/// convenience wrapper over [`units_to_slots`].
 pub fn pairs_to_slots(
     pairs: &[(usize, usize)],
+    current: &[(usize, Slot)],
+    smt_ways: usize,
+) -> Vec<(usize, Slot)> {
+    units_to_slots(pairs, &[], current, smt_ways)
+}
+
+/// Assigns allocation units — SMT pairs plus unpaired singles — to cores,
+/// keeping each unit on a core that already hosts one of its members when
+/// possible (minimizes migrations). A single occupies context 0 of its
+/// core and the other context stays empty, so odd placed-thread counts are
+/// first-class: this is the placement path every pairing policy shares
+/// once apps may arrive and leave freely.
+pub fn units_to_slots(
+    pairs: &[(usize, usize)],
+    singles: &[usize],
     current: &[(usize, Slot)],
     smt_ways: usize,
 ) -> Vec<(usize, Slot)> {
@@ -80,37 +116,91 @@ pub fn pairs_to_slots(
             .find(|&&(a, _)| a == app)
             .map(|&(_, s)| s.core(smt_ways))
     };
-    let n_cores = pairs.len();
-    let mut taken = vec![false; n_cores];
-    let mut assignment: Vec<Option<usize>> = vec![None; pairs.len()];
-    // First pass: pairs that can stay on one member's current core.
-    for (i, &(a, b)) in pairs.iter().enumerate() {
-        for app in [a, b] {
+    let n_units = pairs.len() + singles.len();
+    let members = |i: usize| -> [Option<usize>; 2] {
+        if i < pairs.len() {
+            [Some(pairs[i].0), Some(pairs[i].1)]
+        } else {
+            [Some(singles[i - pairs.len()]), None]
+        }
+    };
+    let mut taken = vec![false; n_units];
+    let mut assignment: Vec<Option<usize>> = vec![None; n_units];
+    // First pass: units that can stay on one member's current core.
+    for (i, slot) in assignment.iter_mut().enumerate() {
+        for app in members(i).into_iter().flatten() {
             if let Some(c) = core_of(app) {
-                if c < n_cores && !taken[c] {
+                if c < n_units && !taken[c] {
                     taken[c] = true;
-                    assignment[i] = Some(c);
+                    *slot = Some(c);
                     break;
                 }
             }
         }
     }
     // Second pass: everything else takes a free core.
-    let mut free = (0..n_cores).filter(|&c| !taken[c]).collect::<Vec<_>>();
+    let mut free = (0..n_units).filter(|&c| !taken[c]).collect::<Vec<_>>();
     for slot in &mut assignment {
         if slot.is_none() {
-            *slot = Some(free.pop().expect("cores and pairs are 1:1"));
+            *slot = Some(free.pop().expect("cores and units are 1:1"));
         }
     }
-    pairs
-        .iter()
-        .zip(assignment)
-        .flat_map(|(&(a, b), core)| {
-            let c = core.unwrap();
-            [(a, Slot(c * smt_ways)), (b, Slot(c * smt_ways + 1))]
+    (0..n_units)
+        .flat_map(|i| {
+            let c = assignment[i].unwrap();
+            match members(i) {
+                [Some(a), Some(b)] => {
+                    vec![(a, Slot(c * smt_ways)), (b, Slot(c * smt_ways + 1))]
+                }
+                [Some(a), None] => vec![(a, Slot(c * smt_ways))],
+                _ => unreachable!("a unit has one or two members"),
+            }
         })
         .collect()
 }
+
+/// Minimum-cost assignment of the `n` apps behind `costs` into SMT pairs
+/// plus (for odd `n`) one single. Even matrices go straight to `matcher`;
+/// odd ones are padded with a virtual app whose edges all cost `pad_cost`,
+/// and whoever the matcher pairs with it runs alone. A constant pad cost
+/// leaves the *choice* of single entirely to the real edges (the matcher
+/// minimizes the sum over real pairs), so any constant works for an
+/// optimal matcher; greedy callers pass a large pad so the dummy edge is
+/// considered last and the single is the natural leftover.
+fn paired_assignment(
+    costs: &[Vec<f64>],
+    pad_cost: f64,
+    matcher: impl Fn(&[Vec<f64>]) -> synpa_matching::Pairing,
+) -> (Vec<(usize, usize)>, Vec<usize>) {
+    let n = costs.len();
+    if n % 2 == 0 {
+        return (matcher(costs).pairs, Vec::new());
+    }
+    let padded: Vec<Vec<f64>> = costs
+        .iter()
+        .map(|row| {
+            let mut row = row.clone();
+            row.push(pad_cost);
+            row
+        })
+        .chain(std::iter::once(vec![pad_cost; n + 1]))
+        .collect();
+    let pairing = matcher(&padded);
+    let mut pairs = Vec::with_capacity(n / 2);
+    let mut singles = Vec::new();
+    for &(a, b) in &pairing.pairs {
+        if b == n {
+            singles.push(a);
+        } else {
+            pairs.push((a, b));
+        }
+    }
+    (pairs, singles)
+}
+
+/// Pad cost for greedy matchers: far above any plausible predicted
+/// slowdown, so the dummy edge sorts last and the single is the leftover.
+const GREEDY_PAD: f64 = 1e30;
 
 /// The Linux-CFS-like baseline of the paper (§VI-C): applications are
 /// paired by arrival order (app *k* with app *k + n/2*) and never migrate —
@@ -153,8 +243,15 @@ impl Policy for RandomPairing {
     fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
         let mut apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
         apps.shuffle(&mut self.rng);
-        let pairs: Vec<(usize, usize)> = apps.chunks(2).map(|c| (c[0], c[1])).collect();
-        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+        let pairs: Vec<(usize, usize)> = apps.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+        // Odd placed count: the shuffle's leftover app runs alone.
+        let singles = apps.chunks_exact(2).remainder();
+        Some(units_to_slots(
+            &pairs,
+            singles,
+            view.placement,
+            view.smt_ways,
+        ))
     }
 }
 
@@ -203,6 +300,18 @@ impl Synpa {
         self
     }
 
+    /// Blends a fresh ST observation into the running estimate with the
+    /// policy's smoothing factor (the first observation is taken whole).
+    fn absorb(&mut self, app: usize, st: Categories) {
+        let alpha = self.smoothing;
+        let entry = self.st_estimates.entry(app).or_insert(st);
+        *entry = Categories::from_array([
+            entry.as_array()[0] * (1.0 - alpha) + st.as_array()[0] * alpha,
+            entry.as_array()[1] * (1.0 - alpha) + st.as_array()[1] * alpha,
+            entry.as_array()[2] * (1.0 - alpha) + st.as_array()[2] * alpha,
+        ]);
+    }
+
     /// Current ST estimate of an app (for diagnostics).
     pub fn st_estimate(&self, app: usize) -> Option<&Categories> {
         self.st_estimates.get(&app)
@@ -231,15 +340,22 @@ impl Policy for Synpa {
             let smt_a = Categories::from_delta(da, view.dispatch_width);
             let smt_b = Categories::from_delta(db, view.dispatch_width);
             let (st_a, st_b) = invert(&self.model, &smt_a, &smt_b);
-            let alpha = self.smoothing;
-            for (app, st) in [(a, st_a), (b, st_b)] {
-                let entry = self.st_estimates.entry(app).or_insert(st);
-                *entry = Categories::from_array([
-                    entry.as_array()[0] * (1.0 - alpha) + st.as_array()[0] * alpha,
-                    entry.as_array()[1] * (1.0 - alpha) + st.as_array()[1] * alpha,
-                    entry.as_array()[2] * (1.0 - alpha) + st.as_array()[2] * alpha,
-                ]);
+            self.absorb(a, st_a);
+            self.absorb(b, st_b);
+        }
+        // An app alone on its core has no co-runner: its measured
+        // categories *are* its single-threaded values — no inversion
+        // needed. This is how singles (odd counts, half-empty cores under
+        // churn) enter the estimate pool.
+        for s in view.singles() {
+            let Some(d) = view.delta_of(s) else {
+                continue;
+            };
+            if d.inst_retired == 0 {
+                continue;
             }
+            let st = Categories::from_delta(d, view.dispatch_width);
+            self.absorb(s, st);
         }
 
         // Until every app has an estimate, keep the current placement.
@@ -262,16 +378,18 @@ impl Policy for Synpa {
             }
         }
 
-        // Step 3: Blossom-optimal pairing, then place with minimal moves.
-        let pairing = min_cost_pairing(&costs);
-        let pairs: Vec<(usize, usize)> = pairing
-            .pairs
-            .iter()
-            .map(|&(i, j)| (apps[i], apps[j]))
-            .collect();
+        // Step 3: Blossom-optimal pairing (odd counts leave one app
+        // single via the zero-cost virtual node), then place with minimal
+        // moves.
+        let (idx_pairs, idx_singles) = paired_assignment(&costs, 0.0, min_cost_pairing);
+        let pairs: Vec<(usize, usize)> =
+            idx_pairs.iter().map(|&(i, j)| (apps[i], apps[j])).collect();
+        let singles: Vec<usize> = idx_singles.iter().map(|&i| apps[i]).collect();
 
         // Hysteresis: compare against the predicted cost of keeping the
         // current pairing; migrate only for a material predicted gain.
+        // Singles contribute no SMT interference on either side, so only
+        // full pairs enter both sums.
         let idx_of: std::collections::HashMap<usize, usize> =
             apps.iter().enumerate().map(|(i, &a)| (a, i)).collect();
         let current_cost: f64 = view
@@ -279,8 +397,7 @@ impl Policy for Synpa {
             .iter()
             .map(|&(a, b)| costs[idx_of[&a]][idx_of[&b]] + costs[idx_of[&b]][idx_of[&a]])
             .sum();
-        let optimal_cost: f64 = pairing
-            .pairs
+        let optimal_cost: f64 = idx_pairs
             .iter()
             .map(|&(i, j)| costs[i][j] + costs[j][i])
             .sum();
@@ -293,7 +410,12 @@ impl Policy for Synpa {
             }
         }
         self.last_migration = Some(view.quantum);
-        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+        Some(units_to_slots(
+            &pairs,
+            &singles,
+            view.placement,
+            view.smt_ways,
+        ))
     }
 }
 
@@ -370,13 +492,17 @@ impl Policy for GreedySynpa {
                 }
             }
         }
-        let pairing = synpa_matching::greedy_min_pairing(&costs);
-        let pairs: Vec<(usize, usize)> = pairing
-            .pairs
-            .iter()
-            .map(|&(i, j)| (apps[i], apps[j]))
-            .collect();
-        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+        let (idx_pairs, idx_singles) =
+            paired_assignment(&costs, GREEDY_PAD, synpa_matching::greedy_min_pairing);
+        let pairs: Vec<(usize, usize)> =
+            idx_pairs.iter().map(|&(i, j)| (apps[i], apps[j])).collect();
+        let singles: Vec<usize> = idx_singles.iter().map(|&i| apps[i]).collect();
+        Some(units_to_slots(
+            &pairs,
+            &singles,
+            view.placement,
+            view.smt_ways,
+        ))
     }
 }
 
@@ -420,13 +546,16 @@ impl Policy for OracleSynpa {
                 }
             }
         }
-        let pairing = min_cost_pairing(&costs);
-        let pairs: Vec<(usize, usize)> = pairing
-            .pairs
-            .iter()
-            .map(|&(i, j)| (apps[i], apps[j]))
-            .collect();
-        Some(pairs_to_slots(&pairs, view.placement, view.smt_ways))
+        let (idx_pairs, idx_singles) = paired_assignment(&costs, 0.0, min_cost_pairing);
+        let pairs: Vec<(usize, usize)> =
+            idx_pairs.iter().map(|&(i, j)| (apps[i], apps[j])).collect();
+        let singles: Vec<usize> = idx_singles.iter().map(|&i| apps[i]).collect();
+        Some(units_to_slots(
+            &pairs,
+            &singles,
+            view.placement,
+            view.smt_ways,
+        ))
     }
 }
 
@@ -534,6 +663,125 @@ mod tests {
             let old = placement.iter().find(|&&(a, _)| a == app).unwrap().1;
             assert_eq!(slot.core(2), old.core(2), "app {app} should not move");
         }
+    }
+
+    fn assert_valid_odd_placement(out: &[(usize, Slot)], mut expect_apps: Vec<usize>) {
+        let mut apps: Vec<usize> = out.iter().map(|&(a, _)| a).collect();
+        apps.sort_unstable();
+        expect_apps.sort_unstable();
+        assert_eq!(apps, expect_apps, "every app placed exactly once");
+        let mut slots: Vec<usize> = out.iter().map(|&(_, s)| s.0).collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), out.len(), "no slot hosts two apps");
+        let mut per_core = std::collections::HashMap::new();
+        for &(_, s) in out {
+            *per_core.entry(s.core(2)).or_insert(0) += 1;
+        }
+        assert!(
+            per_core.values().all(|&c| c <= 2),
+            "at most one pair per core"
+        );
+    }
+
+    #[test]
+    fn units_to_slots_places_singles_alone() {
+        let placement = placement8();
+        let pairs = vec![(0, 4), (1, 5), (2, 6)];
+        let singles = vec![3, 7];
+        let out = units_to_slots(&pairs, &singles, &placement, 2);
+        assert_eq!(out.len(), 8);
+        assert_valid_odd_placement(&out, (0..8).collect());
+        let core = |x: usize| out.iter().find(|&&(a, _)| a == x).unwrap().1.core(2);
+        for &(a, b) in &pairs {
+            assert_eq!(core(a), core(b));
+        }
+        for &s in &singles {
+            let c = core(s);
+            let on_core = out.iter().filter(|&&(_, sl)| sl.core(2) == c).count();
+            assert_eq!(on_core, 1, "single {s} shares core {c}");
+        }
+    }
+
+    #[test]
+    fn units_to_slots_matches_pairs_to_slots_without_singles() {
+        let placement = placement8();
+        let pairs = vec![(0, 1), (2, 3), (4, 5), (6, 7)];
+        assert_eq!(
+            pairs_to_slots(&pairs, &placement, 2),
+            units_to_slots(&pairs, &[], &placement, 2)
+        );
+    }
+
+    #[test]
+    fn random_pairing_handles_odd_counts() {
+        // 5 apps: two pairs plus one single, all placed validly.
+        let placement: Vec<(usize, Slot)> = (0..5usize).map(|a| (a, Slot(a))).collect();
+        let view = QuantumView {
+            quantum: 0,
+            samples: &[],
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let out = RandomPairing::new(3).decide(&view).unwrap();
+        assert_eq!(out.len(), 5);
+        assert_valid_odd_placement(&out, (0..5).collect());
+    }
+
+    #[test]
+    fn synpa_handles_odd_counts_with_a_single() {
+        // 7 apps: 3 backend-ish, 4 frontend-ish, one app must run alone.
+        let samples: Vec<(usize, PmuDelta)> = (0..7)
+            .map(|a| {
+                if a < 3 {
+                    (a, delta(50, 700))
+                } else {
+                    (a, delta(500, 100))
+                }
+            })
+            .collect();
+        let segregated: Vec<(usize, Slot)> = (0..7usize).map(|a| (a, Slot(a))).collect();
+        let mut policy = Synpa::new(model()).without_damping();
+        let view = QuantumView {
+            quantum: 0,
+            samples: &samples,
+            placement: &segregated,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let out = policy.decide(&view).expect("all 7 apps measurable");
+        assert_eq!(out.len(), 7);
+        assert_valid_odd_placement(&out, (0..7).collect());
+    }
+
+    #[test]
+    fn synpa_estimates_singles_from_direct_measurement() {
+        // One app alone on core 0, one pair on core 1: the single has no
+        // co-runner to invert against, so its measured categories must
+        // still produce an ST estimate (else the policy could never decide
+        // in the open-system regime).
+        let placement = vec![(0usize, Slot(0)), (1usize, Slot(2)), (2usize, Slot(3))];
+        let samples: Vec<(usize, PmuDelta)> = vec![
+            (0, delta(50, 700)),
+            (1, delta(500, 100)),
+            (2, delta(400, 200)),
+        ];
+        let mut policy = Synpa::new(model());
+        let view = QuantumView {
+            quantum: 0,
+            samples: &samples,
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let _ = policy.decide(&view);
+        assert!(
+            policy.st_estimate(0).is_some(),
+            "single app 0 must be estimated from its own measurement"
+        );
+        assert!(policy.st_estimate(1).is_some());
+        assert!(policy.st_estimate(2).is_some());
     }
 
     #[test]

@@ -1,0 +1,447 @@
+//! The open-system scheduler service: streaming arrivals, detach on
+//! completion, re-pairing under churn.
+//!
+//! Everything else in this crate is the paper's closed batch (§V-B): a
+//! fixed app list arrives, relaunches in place, and the run ends when the
+//! slowest app finishes its first launch. Production is an *open system* —
+//! applications arrive continuously (see `synpa_apps::workload::
+//! poisson_trace` / `bursty_trace`), run one launch, and leave; the chip is
+//! perpetually partially full (including odd occupancy) and the scheduler
+//! never stops. This module is that front end, built from the same
+//! primitives as the closed-batch manager:
+//!
+//! * **Admission** — arrivals stream into a bounded FIFO queue; at each
+//!   quantum boundary queued apps are attached onto free slots via
+//!   [`first_free_slot`] in strict FIFO order (no later app overtakes a
+//!   blocked head-of-line app).
+//! * **Shedding** — an arrival that finds the queue full is *dropped at
+//!   the door* (drop-newest): queued apps are never evicted, so an
+//!   admitted app always eventually runs. The shed set is reported, never
+//!   silently discarded.
+//! * **Detach on completion** — a first-launch completion event detaches
+//!   the app at the next quantum boundary (no §V-B relaunch). Turnaround
+//!   is measured from *arrival* to the completion cycle; the partial
+//!   relaunch executed between completion and the boundary is the cost of
+//!   quantum-granularity scheduling and is not billed to anyone.
+//! * **Re-pairing under churn** — surviving apps are sampled and re-paired
+//!   by the same [`Policy`] objects as the closed batch, via the shared
+//!   per-quantum decision step.
+//!
+//! Metrics are open-system latencies instead of batch TT: per-app
+//! turnaround (completion − arrival) and on-chip sojourn (completion −
+//! admission), queue depth and occupancy over time, and the shed count
+//! under overload. See `docs/service.md` for the full rules.
+
+use crate::manager::{decide_and_apply, first_free_slot, log_quantum, ManagerConfig, QuantumRow};
+use crate::policy::Policy;
+use std::collections::VecDeque;
+use synpa_apps::AppProfile;
+use synpa_counters::SamplingSession;
+use synpa_sim::{Chip, ThreadProgram};
+
+/// Open-system service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Chip, quantum length and the quanta cap (the cap bounds the run
+    /// even if the trace never drains — the overload escape hatch).
+    pub manager: ManagerConfig,
+    /// Admission-queue bound. An arrival that finds `queue_capacity` apps
+    /// already waiting is shed (drop-newest). Capacity 0 means no queueing
+    /// at all: arrivals not immediately placeable are shed.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            manager: ManagerConfig::default(),
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// One completed application's open-system outcome.
+#[derive(Debug, Clone)]
+pub struct ServiceApp {
+    /// Trace arrival index.
+    pub app: usize,
+    /// Application name.
+    pub name: String,
+    /// Launch target in instructions.
+    pub target: u64,
+    /// Arrival cycle (entered the admission queue).
+    pub arrival: u64,
+    /// Admission cycle (attached to a hardware thread).
+    pub admitted: u64,
+    /// Completion cycle of the single launch.
+    pub completed: u64,
+}
+
+impl ServiceApp {
+    /// Turnaround time: completion − arrival (queue wait + on-chip time).
+    pub fn turnaround(&self) -> u64 {
+        self.completed - self.arrival
+    }
+
+    /// On-chip sojourn: completion − admission (service time under
+    /// whatever SMT interference the pairing produced).
+    pub fn sojourn(&self) -> u64 {
+        self.completed - self.admitted
+    }
+
+    /// Queue wait: admission − arrival.
+    pub fn queue_wait(&self) -> u64 {
+        self.admitted - self.arrival
+    }
+}
+
+/// Result of driving one arrival trace through the service.
+#[derive(Debug, Clone)]
+pub struct ServiceResult {
+    /// Policy name.
+    pub policy: String,
+    /// Completed apps in completion order. Apps still queued or on chip
+    /// when the quanta cap fired are *not* listed — they are censored, not
+    /// assigned fabricated latencies (their count is the difference
+    /// against the trace length minus `shed`).
+    pub completed: Vec<ServiceApp>,
+    /// Trace indices shed by admission control (queue full on arrival).
+    pub shed: Vec<usize>,
+    /// Admission-queue depth at each quantum boundary, after admission.
+    pub queue_depth: Vec<usize>,
+    /// On-chip app count at each quantum boundary, after admission.
+    pub occupancy: Vec<usize>,
+    /// Per-quantum characterization rows (same schema as the closed batch).
+    pub trace: Vec<QuantumRow>,
+    /// Quanta executed.
+    pub quanta: u64,
+    /// Cycle the service stopped at.
+    pub end_cycle: u64,
+    /// Thread migrations performed (core changes).
+    pub migrations: u64,
+    /// `true` when the service stopped because the trace was exhausted and
+    /// both the queue and the chip were empty; `false` when the quanta cap
+    /// cut it off with work still in flight (overload).
+    pub drained: bool,
+}
+
+impl ServiceResult {
+    /// Turnaround samples of all completed apps, completion order.
+    pub fn turnarounds(&self) -> Vec<u64> {
+        self.completed.iter().map(|a| a.turnaround()).collect()
+    }
+
+    /// On-chip sojourn samples of all completed apps, completion order.
+    pub fn sojourns(&self) -> Vec<u64> {
+        self.completed.iter().map(|a| a.sojourn()).collect()
+    }
+
+    /// Peak admission-queue depth over the run.
+    pub fn peak_queue_depth(&self) -> usize {
+        self.queue_depth.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Drives `apps` (calibrated profiles, trace order) arriving at
+/// `arrivals[k]` through the open-system service under `policy`.
+///
+/// The loop per quantum boundary: stream due arrivals into the bounded
+/// queue (shedding the newest when full) → admit queued apps FIFO onto
+/// free slots → advance the chip one quantum → detach first-launch
+/// completions → sample and re-pair the survivors. The service stops when
+/// the trace is exhausted and both queue and chip are empty (`drained`),
+/// or at `cfg.manager.max_quanta` (overload cap).
+///
+/// Deterministic: same trace, same config ⇒ byte-identical result, for
+/// every engine and worker count (the engines are byte-equivalent and no
+/// scheduling decision depends on wall clock).
+pub fn run_service(
+    apps: &[AppProfile],
+    arrivals: &[u64],
+    policy: &mut dyn Policy,
+    cfg: &ServiceConfig,
+) -> ServiceResult {
+    let n = apps.len();
+    assert_eq!(arrivals.len(), n, "one arrival cycle per app");
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrival trace must be sorted by cycle"
+    );
+    let quantum_cycles = cfg.manager.quantum_cycles;
+    let smt = cfg.manager.chip.core.smt_ways as usize;
+    let width = cfg.manager.chip.core.dispatch_width;
+
+    let mut chip = Chip::new(cfg.manager.chip.clone());
+    let mut session = SamplingSession::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut next_arrival = 0usize;
+    let mut admitted_at: Vec<u64> = vec![0; n];
+    let mut completed: Vec<ServiceApp> = Vec::new();
+    let mut shed: Vec<usize> = Vec::new();
+    let mut queue_depth: Vec<usize> = Vec::new();
+    let mut occupancy: Vec<usize> = Vec::new();
+    let mut trace: Vec<QuantumRow> = Vec::new();
+    let mut migrations = 0u64;
+    let mut quantum = 0u64;
+    let mut drained = false;
+
+    // FIFO admission: attach queued apps onto free slots in arrival order.
+    // A blocked head of line blocks everyone behind it (no overtaking).
+    fn drain_queue(
+        chip: &mut Chip,
+        queue: &mut VecDeque<usize>,
+        apps: &[AppProfile],
+        admitted_at: &mut [u64],
+        now: u64,
+    ) {
+        while let Some(&k) = queue.front() {
+            let Some(slot) = first_free_slot(chip) else {
+                break;
+            };
+            queue.pop_front();
+            chip.attach(slot, k, Box::new(apps[k].clone()));
+            admitted_at[k] = now;
+        }
+    }
+
+    loop {
+        let now = chip.cycle();
+        // 1+2. Stream every arrival due by now through admission, in
+        //    arrival order. The queue is drained onto free slots *before*
+        //    each capacity check, so an arrival is shed only against the
+        //    true backlog, never against same-boundary transients.
+        //    Drop-newest: a full queue refuses the arrival at the door;
+        //    already-queued apps are never evicted.
+        while next_arrival < n && arrivals[next_arrival] <= now {
+            drain_queue(&mut chip, &mut queue, apps, &mut admitted_at, now);
+            if queue.len() < cfg.queue_capacity {
+                queue.push_back(next_arrival);
+            } else {
+                shed.push(next_arrival);
+            }
+            next_arrival += 1;
+        }
+        drain_queue(&mut chip, &mut queue, apps, &mut admitted_at, now);
+        queue_depth.push(queue.len());
+        occupancy.push(chip.placement().len());
+        // Exit: trace exhausted, nothing queued, nothing on chip.
+        if next_arrival == n && queue.is_empty() && chip.placement().is_empty() {
+            drained = true;
+            break;
+        }
+        if quantum >= cfg.manager.max_quanta {
+            break;
+        }
+        // 3. One quantum. An empty chip still advances (idle gap in the
+        //    trace); completions land mid-quantum and are detached below.
+        let events = chip.run_until((quantum + 1) * quantum_cycles);
+        // 4. Detach every app whose *first* launch completed. The chip
+        //    relaunched it immediately (§V-B machinery); that partial
+        //    second launch is discarded — the open system runs each app
+        //    once. Turnaround uses the exact completion cycle, not the
+        //    boundary we detach at.
+        for ev in &events {
+            if ev.launch == 0 {
+                if let Some(slot) = chip.slot_of(ev.app_id) {
+                    chip.detach(slot);
+                    session.forget(ev.app_id);
+                    completed.push(ServiceApp {
+                        app: ev.app_id,
+                        name: apps[ev.app_id].name().to_string(),
+                        target: apps[ev.app_id].length(),
+                        arrival: arrivals[ev.app_id],
+                        admitted: admitted_at[ev.app_id],
+                        completed: ev.cycle,
+                    });
+                }
+            }
+        }
+        // 5. Sample the survivors and let the policy re-pair them.
+        let placement = chip.placement();
+        if !placement.is_empty() {
+            let ids: Vec<usize> = placement.iter().map(|&(a, _)| a).collect();
+            let samples = session.sample(&chip, &ids);
+            log_quantum(&mut trace, quantum, &samples, &placement, smt, width);
+            decide_and_apply(
+                &mut chip,
+                policy,
+                quantum,
+                &samples,
+                &placement,
+                &mut migrations,
+            );
+        }
+        quantum += 1;
+    }
+
+    ServiceResult {
+        policy: policy.name().to_string(),
+        completed,
+        shed,
+        queue_depth,
+        occupancy,
+        trace,
+        quanta: quantum,
+        end_cycle: chip.cycle(),
+        migrations,
+        drained,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{LinuxLike, RandomPairing};
+    use synpa_apps::spec;
+    use synpa_sim::ChipConfig;
+
+    fn service_apps(names: &[&str], length: u64) -> Vec<AppProfile> {
+        names
+            .iter()
+            .map(|n| spec::by_name(n).unwrap().with_length(length))
+            .collect()
+    }
+
+    fn small_cfg() -> ServiceConfig {
+        ServiceConfig {
+            manager: ManagerConfig {
+                chip: ChipConfig::thunderx2(2), // 2 cores / 4 slots
+                quantum_cycles: 10_000,
+                max_quanta: 3_000,
+            },
+            queue_capacity: 8,
+        }
+    }
+
+    #[test]
+    fn drains_a_simple_trace_and_measures_turnaround() {
+        let apps = service_apps(&["nab_r", "hmmer", "leela_r", "astar", "gobmk"], 20_000);
+        let arrivals = [0, 0, 5_000, 40_000, 200_000];
+        let mut policy = LinuxLike;
+        let r = run_service(&apps, &arrivals, &mut policy, &small_cfg());
+        assert!(r.drained, "trace must drain");
+        assert!(r.shed.is_empty());
+        assert_eq!(r.completed.len(), 5, "every app completes exactly once");
+        assert_eq!(*r.queue_depth.last().unwrap(), 0);
+        assert_eq!(*r.occupancy.last().unwrap(), 0);
+        for a in &r.completed {
+            assert!(a.admitted >= a.arrival);
+            assert!(a.completed > a.admitted);
+            assert_eq!(a.turnaround(), a.queue_wait() + a.sojourn());
+            // Solo floor: a launch can never beat one instruction per
+            // dispatch slot per cycle.
+            let floor = a.target / u64::from(small_cfg().manager.chip.core.dispatch_width);
+            assert!(
+                a.sojourn() >= floor.max(1),
+                "{} finished {} insts in {} cycles",
+                a.name,
+                a.target,
+                a.sojourn()
+            );
+        }
+        // The last app arrives long after the rest finish: it runs alone
+        // and its queue wait is zero.
+        let last = r.completed.iter().find(|a| a.app == 4).unwrap();
+        assert_eq!(last.queue_wait(), 0);
+    }
+
+    #[test]
+    fn apps_detach_and_free_slots_for_the_backlog() {
+        // 8 apps for 4 slots, all at cycle 0: the second half must wait in
+        // the queue and only run once the first half detaches.
+        let apps = service_apps(
+            &[
+                "nab_r", "hmmer", "leela_r", "astar", "gobmk", "nab_r", "hmmer", "leela_r",
+            ],
+            15_000,
+        );
+        let arrivals = [0; 8];
+        let mut policy = LinuxLike;
+        let r = run_service(&apps, &arrivals, &mut policy, &small_cfg());
+        assert!(r.drained);
+        assert_eq!(r.completed.len(), 8);
+        assert_eq!(r.peak_queue_depth(), 4, "second wave queues");
+        let late: Vec<_> = r.completed.iter().filter(|a| a.app >= 4).collect();
+        assert!(
+            late.iter().all(|a| a.queue_wait() > 0),
+            "backlogged apps waited for a detach"
+        );
+    }
+
+    #[test]
+    fn full_queue_sheds_newest_and_reports_them() {
+        // Queue capacity 1 on a 4-slot chip, 9 simultaneous arrivals: 4
+        // attach, 1 queues, 4 are shed — deterministically the newest.
+        let apps = service_apps(
+            &[
+                "nab_r", "hmmer", "leela_r", "astar", "gobmk", "nab_r", "hmmer", "leela_r", "astar",
+            ],
+            15_000,
+        );
+        let arrivals = [0; 9];
+        let cfg = ServiceConfig {
+            queue_capacity: 1,
+            ..small_cfg()
+        };
+        let mut policy = LinuxLike;
+        let r = run_service(&apps, &arrivals, &mut policy, &cfg);
+        assert!(r.drained);
+        assert_eq!(r.shed, vec![5, 6, 7, 8], "drop-newest, in arrival order");
+        assert_eq!(r.completed.len(), 5);
+        assert_eq!(r.completed.len() + r.shed.len(), 9);
+    }
+
+    #[test]
+    fn overload_hits_the_cap_without_fabricating_latencies() {
+        // Apps far too long for the cap: nothing completes, nothing is
+        // invented — the result just reports the censored state.
+        let apps = service_apps(&["mcf", "mcf", "mcf", "mcf"], 10_000_000);
+        let arrivals = [0; 4];
+        let cfg = ServiceConfig {
+            manager: ManagerConfig {
+                chip: ChipConfig::thunderx2(2),
+                quantum_cycles: 10_000,
+                max_quanta: 10,
+            },
+            queue_capacity: 8,
+        };
+        let mut policy = LinuxLike;
+        let r = run_service(&apps, &arrivals, &mut policy, &cfg);
+        assert!(!r.drained, "cap fired with work in flight");
+        assert_eq!(r.quanta, 10);
+        assert!(r.completed.is_empty());
+        assert_eq!(*r.occupancy.last().unwrap(), 4);
+    }
+
+    #[test]
+    fn odd_occupancy_is_routine_under_a_migrating_policy() {
+        // Staggered arrivals of 7 apps: the chip spends most of the run at
+        // odd occupancy while RandomPairing re-pairs every quantum.
+        let apps = service_apps(
+            &[
+                "nab_r", "hmmer", "leela_r", "astar", "gobmk", "nab_r", "hmmer",
+            ],
+            20_000,
+        );
+        let arrivals = [0, 0, 0, 30_000, 30_000, 60_000, 90_000];
+        let mut policy = RandomPairing::new(11);
+        let r = run_service(&apps, &arrivals, &mut policy, &small_cfg());
+        assert!(r.drained);
+        assert_eq!(r.completed.len(), 7);
+        assert!(
+            r.occupancy.iter().any(|&o| o % 2 == 1),
+            "the run must actually pass through odd occupancy"
+        );
+    }
+
+    #[test]
+    fn identical_inputs_are_bit_identical() {
+        let apps = service_apps(&["nab_r", "hmmer", "leela_r", "astar"], 20_000);
+        let arrivals = [0, 0, 15_000, 15_000];
+        let run = || {
+            let mut policy = RandomPairing::new(3);
+            run_service(&apps, &arrivals, &mut policy, &small_cfg())
+        };
+        assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+    }
+}

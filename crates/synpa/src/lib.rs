@@ -45,14 +45,16 @@ pub use synpa_sim as sim;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
+    pub use synpa_apps::workload::{bursty_trace, poisson_trace, ArrivalTrace};
     pub use synpa_apps::{spec, workload, AppProfile, Fractions, Group, Workload};
     pub use synpa_matching::min_cost_pairing;
     pub use synpa_metrics::{fairness, geomean, tt_speedup, workload_ipc};
     pub use synpa_model::training::{train, TrainingConfig};
     pub use synpa_model::{Categories, SynpaModel};
     pub use synpa_sched::{
-        prepare_workload, run_cell, run_workload, run_workload_with_arrivals, ExperimentConfig,
-        LinuxLike, ManagerConfig, OracleSynpa, Policy, RandomPairing, Synpa,
+        prepare_workload, run_cell, run_service, run_workload, run_workload_with_arrivals,
+        ExperimentConfig, LinuxLike, ManagerConfig, OracleSynpa, Policy, RandomPairing, ServiceApp,
+        ServiceConfig, ServiceResult, Synpa,
     };
     pub use synpa_sim::{Chip, ChipConfig, EngineKind, PmuCounters, Slot};
 }

@@ -57,6 +57,28 @@ fn assert_valid_placement(placement: &[(usize, Slot)], n: usize) {
     assert_eq!(slots, (0..n).collect::<Vec<_>>(), "every slot exactly once");
 }
 
+/// Validity for arbitrary (including odd) occupancy: every app placed
+/// exactly once, no slot reused, at most two apps per SMT2 core. Odd
+/// counts necessarily leave one app alone on a core — that is legal, not
+/// an error (the open-system service runs at odd occupancy routinely).
+fn assert_valid_partial_placement(placement: &[(usize, Slot)], n: usize, smt: usize) {
+    let mut apps: Vec<usize> = placement.iter().map(|&(a, _)| a).collect();
+    apps.sort_unstable();
+    assert_eq!(apps, (0..n).collect::<Vec<_>>(), "every app exactly once");
+    let mut slots: Vec<usize> = placement.iter().map(|&(_, s)| s.0).collect();
+    slots.sort_unstable();
+    slots.dedup();
+    assert_eq!(slots.len(), n, "no slot hosts two apps");
+    let mut per_core = std::collections::HashMap::new();
+    for &(_, s) in placement {
+        *per_core.entry(s.core(smt)).or_insert(0usize) += 1;
+    }
+    assert!(
+        per_core.values().all(|&c| c <= smt),
+        "a core can host at most {smt} threads"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -78,6 +100,41 @@ proptest! {
         };
         if let Some(decision) = policy.decide(&view) {
             assert_valid_placement(&decision, 8);
+        }
+    }
+
+    // Regression (odd-wave restriction): pairing policies used to assume
+    // an even thread count end to end. Odd counts must now produce a
+    // valid partial placement with exactly one app alone on a core.
+    #[test]
+    fn policies_handle_odd_counts(
+        deltas in proptest::collection::vec(arb_delta(), 7),
+        seed in 0u64..1000,
+    ) {
+        let placement: Vec<(usize, Slot)> = (0..7usize).map(|a| (a, Slot(a))).collect();
+        let samples: Vec<(usize, PmuCounters)> =
+            deltas.into_iter().enumerate().collect();
+        let view = QuantumView {
+            quantum: seed % 7,
+            samples: &samples,
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let mut random = RandomPairing::new(seed);
+        let decision = random.decide(&view).unwrap();
+        assert_valid_partial_placement(&decision, 7, 2);
+        let mut synpa = Synpa::new(test_model()).without_damping();
+        if let Some(decision) = synpa.decide(&view) {
+            assert_valid_partial_placement(&decision, 7, 2);
+            let singles: usize = {
+                let mut per_core = std::collections::HashMap::new();
+                for &(_, s) in &decision {
+                    *per_core.entry(s.core(2)).or_insert(0usize) += 1;
+                }
+                per_core.values().filter(|&&c| c == 1).count()
+            };
+            prop_assert_eq!(singles, 1, "7 apps must leave exactly one single");
         }
     }
 

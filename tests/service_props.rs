@@ -1,0 +1,140 @@
+//! Property tests over the open-system scheduler service: random seeded
+//! arrival traces must yield deterministic metrics across every engine and
+//! worker count, the admission queue must drain with the trace, and no
+//! completed app may report a turnaround below its solo lower bound.
+
+use proptest::prelude::*;
+use synpa::apps::workload::{poisson_trace, ArrivalTrace, WorkloadKind};
+use synpa::prelude::*;
+use synpa::sched::run_service;
+use synpa::sched::ServiceConfig;
+use synpa::sim::EngineKind;
+
+const LAUNCH: u64 = 20_000;
+
+fn trace_profiles(trace: &ArrivalTrace) -> Vec<AppProfile> {
+    trace
+        .apps
+        .iter()
+        .map(|n| spec::by_name(n).unwrap().with_length(LAUNCH))
+        .collect()
+}
+
+fn service_cfg(engine: EngineKind, workers: Option<usize>, queue_capacity: usize) -> ServiceConfig {
+    let chip = ChipConfig::thunderx2(2).with_engine(engine);
+    let chip = match workers {
+        Some(w) => chip.with_parallel_workers(w),
+        None => chip,
+    };
+    ServiceConfig {
+        manager: ManagerConfig {
+            chip,
+            quantum_cycles: 10_000,
+            max_quanta: 3_000,
+        },
+        queue_capacity,
+    }
+}
+
+/// Every engine at its default, plus the parallel engine pinned to 1 and 4
+/// workers (worker count must be a pure wall-clock knob — pinning keeps
+/// the test deterministic whatever `SYNPA_THREADS` says).
+fn engine_variants() -> Vec<(String, EngineKind, Option<usize>)> {
+    let mut v: Vec<(String, EngineKind, Option<usize>)> = EngineKind::ALL
+        .iter()
+        .map(|&e| (e.to_string(), e, None))
+        .collect();
+    for workers in [1usize, 4] {
+        v.push((
+            format!("parallel x{workers}"),
+            EngineKind::Parallel,
+            Some(workers),
+        ));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    // Same trace, same policy seed ⇒ byte-identical `ServiceResult` on
+    // every engine and worker count (`Debug` prints every field, so equal
+    // strings mean bit-identical metrics).
+    #[test]
+    fn service_metrics_are_engine_and_worker_independent(
+        seed in 0u64..500,
+        policy_seed in 0u64..100,
+        mean_gap in 2_000.0f64..30_000.0,
+    ) {
+        let trace = poisson_trace("prop", WorkloadKind::Mixed, 12, mean_gap, seed);
+        let apps = trace_profiles(&trace);
+        let run = |engine, workers| {
+            let mut policy = RandomPairing::new(policy_seed);
+            let cfg = service_cfg(engine, workers, 6);
+            format!("{:?}", run_service(&apps, &trace.arrivals, &mut policy, &cfg))
+        };
+        let reference = run(EngineKind::Reference, None);
+        for (name, engine, workers) in engine_variants() {
+            let got = run(engine, workers);
+            prop_assert_eq!(&got, &reference, "{} diverged from reference", name);
+        }
+    }
+
+    // After the trace drains: queue depth 0, chip empty, and every
+    // arrival is accounted for — completed + shed = trace length, with
+    // no app in both sets and none missing.
+    #[test]
+    fn queue_drains_and_every_arrival_is_accounted_for(
+        seed in 0u64..500,
+        mean_gap in 1_000.0f64..25_000.0,
+        queue_capacity in 1usize..8,
+    ) {
+        let trace = poisson_trace("prop", WorkloadKind::Mixed, 14, mean_gap, seed);
+        let apps = trace_profiles(&trace);
+        let mut policy = LinuxLike;
+        let cfg = service_cfg(EngineKind::Burst, None, queue_capacity);
+        let r = run_service(&apps, &trace.arrivals, &mut policy, &cfg);
+        prop_assert!(r.drained, "short traces must drain under the cap");
+        prop_assert_eq!(*r.queue_depth.last().unwrap(), 0);
+        prop_assert_eq!(*r.occupancy.last().unwrap(), 0);
+        prop_assert_eq!(r.completed.len() + r.shed.len(), trace.len());
+        let mut seen: Vec<usize> = r
+            .completed
+            .iter()
+            .map(|a| a.app)
+            .chain(r.shed.iter().copied())
+            .collect();
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..trace.len()).collect::<Vec<_>>());
+    }
+
+    // Latency sanity on every completed app: turnaround = queue wait +
+    // sojourn, admission never precedes arrival, and the sojourn can
+    // never beat the solo lower bound (`length / dispatch_width` cycles —
+    // the chip cannot retire faster than its dispatch width even with
+    // zero interference).
+    #[test]
+    fn turnaround_respects_the_solo_lower_bound(
+        seed in 0u64..500,
+        policy_seed in 0u64..100,
+        mean_gap in 1_000.0f64..25_000.0,
+    ) {
+        let trace = poisson_trace("prop", WorkloadKind::Mixed, 14, mean_gap, seed);
+        let apps = trace_profiles(&trace);
+        let mut policy = RandomPairing::new(policy_seed);
+        let cfg = service_cfg(EngineKind::Burst, None, 6);
+        let r = run_service(&apps, &trace.arrivals, &mut policy, &cfg);
+        let width = u64::from(cfg.manager.chip.core.dispatch_width);
+        for a in &r.completed {
+            prop_assert!(a.admitted >= a.arrival);
+            prop_assert!(a.completed > a.admitted);
+            prop_assert_eq!(a.turnaround(), a.queue_wait() + a.sojourn());
+            prop_assert!(
+                a.sojourn() >= (a.target / width).max(1),
+                "{} retired {} insts in {} cycles (dispatch width {})",
+                a.name, a.target, a.sojourn(), width
+            );
+            prop_assert!(a.turnaround() >= a.sojourn());
+        }
+    }
+}
