@@ -105,17 +105,35 @@ fn main() {
     let gap = |rho: f64| 2.0 * target_window as f64 / (slots as f64 * rho);
     let mut rows = vec![
         TraceRow {
-            trace: workload::poisson_trace("ln04", WorkloadKind::Mixed, count, gap(0.4), 0x0010_AD04),
+            trace: workload::poisson_trace(
+                "ln04",
+                WorkloadKind::Mixed,
+                count,
+                gap(0.4),
+                0x0010_AD04,
+            ),
             rho: 0.4,
             label: "poisson",
         },
         TraceRow {
-            trace: workload::poisson_trace("ln08", WorkloadKind::Mixed, count, gap(0.8), 0x0010_AD08),
+            trace: workload::poisson_trace(
+                "ln08",
+                WorkloadKind::Mixed,
+                count,
+                gap(0.8),
+                0x0010_AD08,
+            ),
             rho: 0.8,
             label: "poisson",
         },
         TraceRow {
-            trace: workload::poisson_trace("ln15", WorkloadKind::Mixed, count, gap(1.5), 0x0010_AD15),
+            trace: workload::poisson_trace(
+                "ln15",
+                WorkloadKind::Mixed,
+                count,
+                gap(1.5),
+                0x0010_AD15,
+            ),
             rho: 1.5,
             label: "overload",
         },

@@ -42,6 +42,17 @@ pub struct SuiteCell {
     pub app_speedup: Vec<f64>,
     /// Migrations in the exemplar repetition.
     pub migrations: u64,
+    /// Pairing-matcher calls in the exemplar repetition (0 for policies
+    /// without a matcher). Deliberately no serde default: adding these
+    /// counters must invalidate previously cached cells rather than load
+    /// them with fabricated zeros.
+    pub matcher_quanta: u64,
+    /// Certificate fast-path accepts among those calls (O(n²), no solve).
+    pub matcher_fast_path: u64,
+    /// Warm-started blossom solves among those calls.
+    pub matcher_warm: u64,
+    /// Cold blossom solves among those calls.
+    pub matcher_cold: u64,
 }
 
 impl SuiteCell {
@@ -58,6 +69,10 @@ impl SuiteCell {
             app_ipc: cell.app_ipc.clone(),
             app_speedup: cell.app_speedup.clone(),
             migrations: cell.exemplar.migrations,
+            matcher_quanta: cell.exemplar.matcher.map_or(0, |m| m.calls),
+            matcher_fast_path: cell.exemplar.matcher.map_or(0, |m| m.certificate_hits),
+            matcher_warm: cell.exemplar.matcher.map_or(0, |m| m.warm_solves),
+            matcher_cold: cell.exemplar.matcher.map_or(0, |m| m.cold_solves),
         }
     }
 }
@@ -627,6 +642,10 @@ mod tests {
             app_ipc: vec![],
             app_speedup: vec![],
             migrations: 0,
+            matcher_quanta: 0,
+            matcher_fast_path: 0,
+            matcher_warm: 0,
+            matcher_cold: 0,
         };
         store_cell(&dir, "right", &cell);
         std::fs::rename(dir.join("right.json"), dir.join("wrong.json")).unwrap();

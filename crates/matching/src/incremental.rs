@@ -1,0 +1,487 @@
+//! Incremental minimum-cost pairing: dual-certificate reuse plus
+//! warm-started blossom across a sequence of slowly drifting cost
+//! matrices.
+//!
+//! The per-quantum scheduling path solves a fresh O(n³) matching every
+//! quantum even though the damped ST estimates guarantee the cost matrix
+//! drifts slowly. [`IncrementalMatcher`] exploits that: it retains the
+//! previous solve's matching **and** its vertex dual potentials (exported
+//! via [`Workspace::vertex_duals`]) and, on each new matrix, runs an O(n²)
+//! certificate check before conceding an O(n³) solve.
+//!
+//! ## The certificate rule
+//!
+//! Weak LP duality for perfect matchings: if duals `lab` are *feasible*
+//! (`lab[u] + lab[v] >= 2*w[u][v]` for every edge) and every *matched*
+//! edge is *tight* (`==`), then the retained perfect matching attains the
+//! dual bound and is optimal. So per quantum:
+//!
+//! 0. **Identity**: if the integer weight matrix is unchanged since the
+//!    last accepted solve, the retained matching is trivially still
+//!    optimal. This O(n²) compare matters because vertex duals alone
+//!    cannot always certify: when the previous solve terminated with
+//!    contracted blossoms carrying positive duals, intra-blossom edges
+//!    are infeasible under the vertex labels even though the matching is
+//!    optimal — common at full-chip n, and exactly the case the
+//!    scheduler's `repredict_epsilon` gate turns into byte-identical
+//!    matrices.
+//! 1. **Repair**: for each retained pair, redistribute the pair's two
+//!    labels so the matched edge is tight under the *new* weights (a pair
+//!    always can be repaired: labels move by half the weight change).
+//! 2. **Check**: scan all n² edges for feasibility. No violation ⇒ the
+//!    retained matching is still optimal (blossom duals are non-negative
+//!    and only tighten the bound); return it without solving.
+//! 3. **Warm solve**: otherwise dissolve only the pairs incident to
+//!    violated vertices, lift the freed vertices to a common safe dual
+//!    level, and resume the primal-dual search from that state
+//!    ([`max_weight_matching_warm_in`]) — the search re-matches only the
+//!    dissolved region instead of rebuilding the whole matching.
+//!
+//! Exactness is unconditional: the certificate accepts only provably
+//! optimal matchings, and a warm start is just a valid intermediate state
+//! of the same exact algorithm, so `total_cost` equals a fresh solve's on
+//! every quantum (CI byte-diffs `full_chip`/`open_system` tables under
+//! `SYNPA_MATCHER={fresh,incremental}` to enforce this end-to-end).
+//! See `docs/matching.md` for the economics.
+
+use crate::blossom::{max_weight_matching_in, max_weight_matching_warm_in, Workspace};
+use crate::pairing::{check_square_even, fill_int_weights, pairing_from_mate, Pairing};
+
+/// Counters describing how an [`IncrementalMatcher`] spent its calls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatcherStats {
+    /// Pairing requests served (empty matrices excluded).
+    pub calls: u64,
+    /// Calls where an O(n²) certificate (identical weight matrix, or
+    /// repaired duals staying feasible) proved the retained matching
+    /// still optimal — the O(n³) solve was skipped entirely.
+    pub certificate_hits: u64,
+    /// Calls that warm-started the blossom search from repaired duals.
+    pub warm_solves: u64,
+    /// Calls that ran a cold solve (first call, size change, or reset).
+    pub cold_solves: u64,
+    /// Pairs carried intact into warm solves (across all warm calls).
+    pub pairs_retained: u64,
+    /// Pairs dissolved for re-matching in warm solves.
+    pub pairs_dissolved: u64,
+}
+
+impl MatcherStats {
+    /// Solves actually run (warm + cold).
+    pub fn solves(&self) -> u64 {
+        self.warm_solves + self.cold_solves
+    }
+
+    /// Fraction of calls answered by the certificate alone.
+    pub fn fast_path_rate(&self) -> f64 {
+        if self.calls == 0 {
+            0.0
+        } else {
+            self.certificate_hits as f64 / self.calls as f64
+        }
+    }
+}
+
+/// State retained from the previous accepted solve.
+#[derive(Debug, Default, Clone)]
+struct Retained {
+    n: usize,
+    mate: Vec<Option<usize>>,
+    /// Vertex duals in lab units (see [`Workspace::vertex_duals`]).
+    lab: Vec<i64>,
+    /// The integer weight matrix the retained state was accepted for —
+    /// the identity fast-path compares against it.
+    weights: Vec<Vec<i64>>,
+}
+
+/// A persistent minimum-cost pairing solver for drifting cost matrices.
+///
+/// Drop-in replacement for [`crate::min_cost_pairing_in`] on a call
+/// sequence: every call returns a pairing whose `total_cost` equals a
+/// fresh solve's, but low-drift calls cost O(n²) (certificate accept) and
+/// moderate-drift calls re-match only the violated region (warm solve).
+///
+/// Not thread-shared: each scheduling policy owns one. Call [`reset`] when
+/// the item set changes meaning (app churn) — a size change alone is
+/// detected and falls back to a cold solve automatically.
+///
+/// [`reset`]: IncrementalMatcher::reset
+#[derive(Debug, Default)]
+pub struct IncrementalMatcher {
+    ws: Workspace,
+    prev: Option<Retained>,
+    stats: MatcherStats,
+    // Per-call scratch, reused to keep the steady state allocation-free.
+    lab: Vec<i64>,
+    snap: Vec<i64>,
+    violated: Vec<bool>,
+    kept: Vec<Option<usize>>,
+}
+
+impl IncrementalMatcher {
+    /// A matcher with no retained state; the first call cold-solves.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forgets the retained matching/duals (the next call cold-solves).
+    /// Stats are preserved; they describe the matcher's whole lifetime.
+    pub fn reset(&mut self) {
+        self.prev = None;
+    }
+
+    /// Lifetime counters for this matcher.
+    pub fn stats(&self) -> MatcherStats {
+        self.stats
+    }
+
+    /// Minimum-cost perfect pairing of `costs`, exactly equal in
+    /// `total_cost` to [`crate::min_cost_pairing_in`] on the same matrix.
+    pub fn pairing(&mut self, costs: &[Vec<f64>]) -> Pairing {
+        let n = check_square_even(costs);
+        if n == 0 {
+            return Pairing {
+                pairs: Vec::new(),
+                total_cost: 0.0,
+            };
+        }
+        self.stats.calls += 1;
+        // Same transform as the fresh path — bit-identical integer problem.
+        let weights = fill_int_weights(&mut self.ws, costs);
+        let pairing = self.pairing_int(costs, n, &weights);
+        self.ws.int_weights = weights;
+        pairing
+    }
+
+    fn pairing_int(&mut self, costs: &[Vec<f64>], n: usize, weights: &[Vec<i64>]) -> Pairing {
+        let w = &weights[..n];
+        if self.prev.as_ref().map(|p| p.n) != Some(n) {
+            return self.cold_solve(costs, n, w);
+        }
+
+        // Identity fast-path: an unchanged weight matrix means the
+        // retained matching is still optimal no matter what shape the
+        // previous solve's dual state ended in (see module docs).
+        if self.prev.as_ref().expect("checked above").weights == w {
+            self.stats.certificate_hits += 1;
+            let mate = self.prev.as_ref().expect("checked above").mate.clone();
+            return pairing_from_mate(costs, &mate);
+        }
+
+        // Repair pass: retune each retained pair's labels so its matched
+        // edge is tight under the new weights. target = 2*w >= 2 and the
+        // clamp keeps both labels in [0, target], so non-negativity holds.
+        let prev = self.prev.as_ref().expect("checked above");
+        self.lab.clear();
+        self.lab.extend_from_slice(&prev.lab);
+        for (u, wu) in w.iter().enumerate() {
+            let v = prev.mate[u].expect("retained matching is perfect");
+            if v > u {
+                let target = 2 * wu[v];
+                let shift = (target - self.lab[u] - self.lab[v]) / 2;
+                let lu = (self.lab[u] + shift).clamp(0, target);
+                self.lab[u] = lu;
+                self.lab[v] = target - lu;
+            }
+        }
+
+        // Certificate check: any infeasible edge invalidates the bound.
+        self.violated.clear();
+        self.violated.resize(n, false);
+        let mut any_violation = false;
+        for (u, wu) in w.iter().enumerate() {
+            for (v, &wuv) in wu.iter().enumerate().skip(u + 1) {
+                if self.lab[u] + self.lab[v] < 2 * wuv {
+                    self.violated[u] = true;
+                    self.violated[v] = true;
+                    any_violation = true;
+                }
+            }
+        }
+        if !any_violation {
+            self.stats.certificate_hits += 1;
+            let prev = self.prev.as_mut().expect("checked above");
+            let mate = prev.mate.clone();
+            // The repaired duals certify this matrix; retain them (and the
+            // matrix) so the next call starts from the freshest state.
+            prev.lab.clear();
+            prev.lab.extend_from_slice(&self.lab);
+            copy_weights(&mut prev.weights, w);
+            return pairing_from_mate(costs, &mate);
+        }
+
+        // Warm start. Keep pairs untouched by any violation; dissolve the
+        // rest. Freed vertices are lifted to one common level L chosen so
+        // the warm-start invariants of `max_weight_matching_warm_in` hold:
+        // L >= every freed vertex's own repaired label (labels only rise,
+        // preserving feasibility of edges into kept pairs), and
+        // L >= need(f) = max_v(2*w[f][v] - snap[v]) for every freed f
+        // (restoring feasibility of the violated edges). Raising a freed
+        // label can undercut a kept pair (matched labels must stay >= L),
+        // so any kept pair below L is dissolved too and L re-grown —
+        // monotone, at most n/2 rounds.
+        let prev = self.prev.as_ref().expect("checked above");
+        self.kept.clear();
+        self.kept.resize(n, None);
+        let mut dissolved = 0u64;
+        for u in 0..n {
+            let v = prev.mate[u].expect("retained matching is perfect");
+            if v > u {
+                if !self.violated[u] && !self.violated[v] {
+                    self.kept[u] = Some(v);
+                    self.kept[v] = Some(u);
+                } else {
+                    dissolved += 1;
+                }
+            }
+        }
+        self.snap.clear();
+        self.snap.extend_from_slice(&self.lab);
+        let snap = &self.snap;
+        let need = |f: usize| -> i64 {
+            (0..n)
+                .filter(|&v| v != f)
+                .map(|v| 2 * w[f][v] - snap[v])
+                .max()
+                .unwrap_or(0)
+        };
+        let mut level = 0i64;
+        for f in 0..n {
+            if self.kept[f].is_none() {
+                level = level.max(self.snap[f]).max(need(f));
+            }
+        }
+        loop {
+            let mut grew = false;
+            for u in 0..n {
+                let Some(v) = self.kept[u] else { continue };
+                if v > u && (self.lab[u] < level || self.lab[v] < level) {
+                    self.kept[u] = None;
+                    self.kept[v] = None;
+                    dissolved += 1;
+                    level = level
+                        .max(self.snap[u])
+                        .max(self.snap[v])
+                        .max(need(u))
+                        .max(need(v));
+                    grew = true;
+                }
+            }
+            if !grew {
+                break;
+            }
+        }
+        let mut retained = 0u64;
+        for f in 0..n {
+            if self.kept[f].is_none() {
+                self.lab[f] = level;
+            } else {
+                retained += 1;
+            }
+        }
+        // A warm start that kept nothing is a cold solve with extra steps
+        // (and a possibly worse initial dual level) — take the plain cold
+        // path so the incremental matcher is never slower than fresh by
+        // more than the O(n²) repair/scan it just paid.
+        if retained == 0 {
+            return self.cold_solve(costs, n, w);
+        }
+        self.stats.warm_solves += 1;
+        self.stats.pairs_dissolved += dissolved;
+        self.stats.pairs_retained += retained / 2;
+        let (_, mate) = max_weight_matching_warm_in(&mut self.ws, w, &self.kept, &self.lab);
+        self.retain(n, mate, w);
+        pairing_from_mate(costs, &self.prev.as_ref().expect("just retained").mate)
+    }
+
+    fn cold_solve(&mut self, costs: &[Vec<f64>], n: usize, w: &[Vec<i64>]) -> Pairing {
+        self.stats.cold_solves += 1;
+        let (_, mate) = max_weight_matching_in(&mut self.ws, w);
+        self.retain(n, mate, w);
+        pairing_from_mate(costs, &self.prev.as_ref().expect("just retained").mate)
+    }
+
+    fn retain(&mut self, n: usize, mate: Vec<Option<usize>>, w: &[Vec<i64>]) {
+        debug_assert!(
+            mate.iter().all(|m| m.is_some()),
+            "weights >= 1 guarantee a perfect matching"
+        );
+        let lab = self.ws.vertex_duals().to_vec();
+        debug_assert_eq!(lab.len(), n);
+        // Reuse the previous retained allocation where possible.
+        let mut weights = match self.prev.take() {
+            Some(p) => p.weights,
+            None => Vec::new(),
+        };
+        copy_weights(&mut weights, w);
+        self.prev = Some(Retained {
+            n,
+            mate,
+            lab,
+            weights,
+        });
+    }
+}
+
+/// Copies `w` into `dst` without dropping row allocations already there.
+fn copy_weights(dst: &mut Vec<Vec<i64>>, w: &[Vec<i64>]) {
+    dst.resize_with(w.len(), Vec::new);
+    for (d, s) in dst.iter_mut().zip(w) {
+        d.clear();
+        d.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::min_cost_pairing;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-6
+    }
+
+    /// Deterministic xorshift for reproducible drift traces.
+    struct Rng(u64);
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0
+        }
+        fn unit(&mut self) -> f64 {
+            (self.next() % 10_000) as f64 / 10_000.0
+        }
+    }
+
+    fn random_costs(n: usize, rng: &mut Rng) -> Vec<Vec<f64>> {
+        let mut c = vec![vec![0.0; n]; n];
+        for (u, row) in c.iter_mut().enumerate() {
+            for (v, cell) in row.iter_mut().enumerate() {
+                if u != v {
+                    // 3-decimal grid keeps the f64 sums exactly comparable.
+                    *cell = 1.0 + (rng.next() % 4_000) as f64 / 1_000.0;
+                }
+            }
+        }
+        c
+    }
+
+    fn drift(c: &mut [Vec<f64>], step: f64, rng: &mut Rng) {
+        for (u, row) in c.iter_mut().enumerate() {
+            for (v, cell) in row.iter_mut().enumerate() {
+                if u != v {
+                    let delta = (rng.unit() - 0.5) * 2.0 * step;
+                    // Snap back to the grid so exact-comparison holds.
+                    *cell = ((*cell + delta).max(0.001) * 1_000.0).round() / 1_000.0;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_fresh_solver_across_drift() {
+        for &n in &[4usize, 8, 12] {
+            let mut rng = Rng(0x5EED_0000 + n as u64);
+            let mut c = random_costs(n, &mut rng);
+            let mut m = IncrementalMatcher::new();
+            for q in 0..60 {
+                let inc = m.pairing(&c);
+                let fresh = min_cost_pairing(&c);
+                assert!(
+                    approx(inc.total_cost, fresh.total_cost),
+                    "n={n} q={q}: inc {} vs fresh {}",
+                    inc.total_cost,
+                    fresh.total_cost
+                );
+                drift(&mut c, 0.05, &mut rng);
+            }
+        }
+    }
+
+    #[test]
+    fn certificate_fires_on_low_drift() {
+        let mut rng = Rng(0xCAFE);
+        let mut c = random_costs(8, &mut rng);
+        let mut m = IncrementalMatcher::new();
+        for _ in 0..40 {
+            m.pairing(&c);
+            drift(&mut c, 0.002, &mut rng);
+        }
+        let s = m.stats();
+        assert_eq!(s.calls, 40);
+        assert_eq!(s.calls, s.certificate_hits + s.solves());
+        assert!(
+            s.certificate_hits > 0,
+            "low drift must hit the fast path: {s:?}"
+        );
+    }
+
+    #[test]
+    fn identical_matrix_always_certifies() {
+        let mut rng = Rng(0xBEEF);
+        let c = random_costs(10, &mut rng);
+        let mut m = IncrementalMatcher::new();
+        let first = m.pairing(&c);
+        for _ in 0..5 {
+            let again = m.pairing(&c);
+            assert_eq!(again.pairs, first.pairs);
+            assert!(approx(again.total_cost, first.total_cost));
+        }
+        assert_eq!(m.stats().certificate_hits, 5);
+        assert_eq!(m.stats().solves(), 1);
+    }
+
+    #[test]
+    fn adversarial_spike_stays_exact() {
+        let mut rng = Rng(0xD00D);
+        let mut c = random_costs(8, &mut rng);
+        let mut m = IncrementalMatcher::new();
+        m.pairing(&c);
+        // Make the currently-cheapest structure terrible in one jump.
+        for (u, row) in c.iter_mut().enumerate() {
+            for (v, cell) in row.iter_mut().enumerate() {
+                if u != v {
+                    *cell = 5.0 - cell.min(4.999);
+                }
+            }
+        }
+        let inc = m.pairing(&c);
+        let fresh = min_cost_pairing(&c);
+        assert!(approx(inc.total_cost, fresh.total_cost));
+        assert!(m.stats().solves() >= 2, "a spike must force a solve");
+    }
+
+    #[test]
+    fn size_change_falls_back_to_cold() {
+        let mut rng = Rng(0xF00D);
+        let c8 = random_costs(8, &mut rng);
+        let c6 = random_costs(6, &mut rng);
+        let mut m = IncrementalMatcher::new();
+        m.pairing(&c8);
+        let inc = m.pairing(&c6);
+        assert!(approx(inc.total_cost, min_cost_pairing(&c6).total_cost));
+        assert_eq!(m.stats().cold_solves, 2);
+    }
+
+    #[test]
+    fn reset_forces_cold_solve() {
+        let mut rng = Rng(0xAB);
+        let c = random_costs(6, &mut rng);
+        let mut m = IncrementalMatcher::new();
+        m.pairing(&c);
+        m.reset();
+        m.pairing(&c);
+        assert_eq!(m.stats().cold_solves, 2);
+        assert_eq!(m.stats().certificate_hits, 0);
+    }
+
+    #[test]
+    fn empty_matrix_is_a_noop() {
+        let mut m = IncrementalMatcher::new();
+        let p = m.pairing(&[]);
+        assert!(p.pairs.is_empty());
+        assert_eq!(m.stats().calls, 0);
+    }
+}

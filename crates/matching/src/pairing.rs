@@ -13,14 +13,16 @@ use crate::blossom::{max_weight_matching_in, with_shared_workspace, Workspace};
 pub struct Pairing {
     /// The pairs, each `(lo, hi)` with `lo < hi`, sorted by `lo`.
     pub pairs: Vec<(usize, usize)>,
-    /// Total cost under the input matrix.
+    /// Total symmetrized cost: the sum of `0.5*(c[u][v]+c[v][u])` over the
+    /// pairs — the exact quantity the matching minimizes, identical across
+    /// the blossom, exhaustive, and greedy solvers.
     pub total_cost: f64,
 }
 
 /// Fixed-point scale used to convert `f64` costs to integer weights.
 const SCALE: f64 = 1_000_000.0;
 
-fn check_square_even(costs: &[Vec<f64>]) -> usize {
+pub(crate) fn check_square_even(costs: &[Vec<f64>]) -> usize {
     let n = costs.len();
     assert!(n % 2 == 0, "perfect pairing needs an even item count");
     assert!(
@@ -30,14 +32,14 @@ fn check_square_even(costs: &[Vec<f64>]) -> usize {
     n
 }
 
-fn pairing_from_mate(costs: &[Vec<f64>], mate: &[Option<usize>]) -> Pairing {
+pub(crate) fn pairing_from_mate(costs: &[Vec<f64>], mate: &[Option<usize>]) -> Pairing {
     let mut pairs = Vec::with_capacity(mate.len() / 2);
     let mut total = 0.0;
     for (u, &m) in mate.iter().enumerate() {
         let v = m.expect("perfect matching leaves nobody unmatched");
         if u < v {
             pairs.push((u, v));
-            total += costs[u][v];
+            total += 0.5 * (costs[u][v] + costs[v][u]);
         }
     }
     pairs.sort_unstable();
@@ -64,6 +66,27 @@ pub fn min_cost_pairing_in(ws: &mut Workspace, costs: &[Vec<f64>]) -> Pairing {
             total_cost: 0.0,
         };
     }
+    let weights = fill_int_weights(ws, costs);
+    let (_, mate) = max_weight_matching_in(ws, &weights[..n]);
+    ws.int_weights = weights;
+    pairing_from_mate(costs, &mate)
+}
+
+/// Converts a real-valued cost matrix into the non-negative integer
+/// maximization weights the blossom solver expects, filling the
+/// workspace's scratch matrix (taken out and returned; the caller puts it
+/// back after the solve).
+///
+/// Maximize (max_c - cost): all transformed weights >= 1 so the maximum
+/// weight matching on the complete graph is perfect, and maximizing the
+/// transform minimizes total cost (the pair count is fixed at n/2).
+///
+/// This is the *single* cost→weight transform in the crate: the fresh path
+/// (`min_cost_pairing_in`) and the incremental path
+/// (`crate::IncrementalMatcher`) both go through it, so their integer
+/// problems — and therefore their optima — are bit-identical.
+pub(crate) fn fill_int_weights(ws: &mut Workspace, costs: &[Vec<f64>]) -> Vec<Vec<i64>> {
+    let n = costs.len();
     let sym = |u: usize, v: usize| 0.5 * (costs[u][v] + costs[v][u]);
     let mut max_c = f64::MIN;
     for u in 0..n {
@@ -73,11 +96,6 @@ pub fn min_cost_pairing_in(ws: &mut Workspace, costs: &[Vec<f64>]) -> Pairing {
             }
         }
     }
-    // Maximize (max_c - cost): all transformed weights >= 1 so the maximum
-    // weight matching on the complete graph is perfect, and maximizing the
-    // transform minimizes total cost (the pair count is fixed at n/2).
-    // The integer matrix lives in the workspace; rows are cleared and
-    // refilled, never reallocated in the steady state.
     let mut weights = std::mem::take(&mut ws.int_weights);
     if weights.len() < n {
         weights.resize_with(n, Vec::new);
@@ -92,9 +110,7 @@ pub fn min_cost_pairing_in(ws: &mut Workspace, costs: &[Vec<f64>]) -> Pairing {
             }
         }));
     }
-    let (_, mate) = max_weight_matching_in(ws, &weights[..n]);
-    ws.int_weights = weights;
-    pairing_from_mate(costs, &mate)
+    weights
 }
 
 /// [`min_cost_pairing_in`] through the shared thread-local workspace:
@@ -146,7 +162,7 @@ pub fn exhaustive_min_pairing(costs: &[Vec<f64>]) -> Pairing {
     while mask != 0 {
         let (u, v) = choice[mask];
         pairs.push((u.min(v), u.max(v)));
-        total += costs[u.min(v)][u.max(v)];
+        total += 0.5 * (costs[u][v] + costs[v][u]);
         mask &= !(1 << u);
         mask &= !(1 << v);
     }
@@ -172,12 +188,12 @@ pub fn greedy_min_pairing(costs: &[Vec<f64>]) -> Pairing {
     edges.sort_by(|a, b| a.0.total_cmp(&b.0));
     let mut pairs = Vec::with_capacity(n / 2);
     let mut total = 0.0;
-    for (_, u, v) in edges {
+    for (c, u, v) in edges {
         if !used[u] && !used[v] {
             used[u] = true;
             used[v] = true;
             pairs.push((u, v));
-            total += costs[u][v];
+            total += c;
         }
     }
     pairs.sort_unstable();
@@ -229,11 +245,17 @@ mod tests {
 
     #[test]
     fn asymmetric_costs_are_averaged() {
-        // cost(0,1)+cost(1,0) = 2+4 -> pair cost uses both directions; the
-        // reported total is the raw upper-triangle entry.
+        // cost(0,1) = 2 and cost(1,0) = 4: the pair's cost is the
+        // symmetrized 0.5*(2+4) = 3 in both the matching objective and the
+        // reported total (all three solvers agree on this quantity).
         let c = costs(&[&[0.0, 2.0], &[4.0, 0.0]]);
         let p = min_cost_pairing(&c);
         assert_eq!(p.pairs, vec![(0, 1)]);
+        assert!((p.total_cost - 3.0).abs() < 1e-9);
+        let e = exhaustive_min_pairing(&c);
+        let g = greedy_min_pairing(&c);
+        assert!((e.total_cost - 3.0).abs() < 1e-9);
+        assert!((g.total_cost - 3.0).abs() < 1e-9);
     }
 
     #[test]

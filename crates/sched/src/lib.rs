@@ -29,11 +29,12 @@ pub use manager::{
     QuantumRow, RunResult,
 };
 pub use policy::{
-    pairs_to_slots, GreedySynpa, LinuxLike, OracleSynpa, Policy, QuantumView, RandomPairing,
-    StaticPairs, Synpa,
+    pairs_to_slots, GreedySynpa, LinuxLike, MatcherKind, OracleSynpa, Policy, QuantumView,
+    RandomPairing, StaticPairs, Synpa,
 };
 pub use runner::{
     cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome, ExperimentConfig,
     PreparedWorkload,
 };
 pub use service::{run_service, ServiceApp, ServiceConfig, ServiceResult};
+pub use synpa_matching::MatcherStats;

@@ -97,6 +97,10 @@ pub struct RunResult {
     /// unfinished (its [`AppResult::completed`] is `false`); the workload
     /// TT is then a lower bound, not a measurement.
     pub capped: bool,
+    /// Matching-layer counters (certificate fast-path / warm / cold solve
+    /// counts), if the policy drives a pairing matcher. Engine- and
+    /// thread-count-independent, like every other field here.
+    pub matcher: Option<synpa_matching::MatcherStats>,
 }
 
 /// Manager configuration.
@@ -358,6 +362,7 @@ pub fn run_workload_with_arrivals(
         trace,
         quanta: quantum,
         migrations,
+        matcher: policy.matcher_stats(),
     }
 }
 

@@ -8,9 +8,70 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use synpa_matching::min_cost_pairing;
+use synpa_matching::{min_cost_pairing, IncrementalMatcher, MatcherStats};
 use synpa_model::{invert, Categories, SynpaModel};
 use synpa_sim::{PmuDelta, Slot};
+
+/// Which pairing solver the SYNPA policy runs per quantum.
+///
+/// Both are exact — they return identically-costed pairings on every
+/// matrix (CI byte-diffs whole experiment tables under each to enforce
+/// it); they differ only in how much work a low-drift quantum costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// Cold blossom solve every quantum (`min_cost_pairing`), the
+    /// pre-incremental behaviour and the differential baseline.
+    Fresh,
+    /// Persistent [`IncrementalMatcher`]: O(n²) dual-certificate fast
+    /// path, warm-started blossom on reject (see `docs/matching.md`).
+    Incremental,
+}
+
+impl MatcherKind {
+    /// Every matcher, in documentation order.
+    pub const ALL: [MatcherKind; 2] = [MatcherKind::Fresh, MatcherKind::Incremental];
+
+    /// Stable lowercase name (accepted by [`MatcherKind::parse`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            MatcherKind::Fresh => "fresh",
+            MatcherKind::Incremental => "incremental",
+        }
+    }
+
+    /// Parses a matcher name as accepted by the `SYNPA_MATCHER` override.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        match name {
+            "fresh" => Ok(MatcherKind::Fresh),
+            "incremental" => Ok(MatcherKind::Incremental),
+            other => Err(format!(
+                "unknown matcher '{other}' (valid: fresh, incremental)"
+            )),
+        }
+    }
+
+    /// The `SYNPA_MATCHER` environment override, if set. Whitespace is
+    /// trimmed and an empty value means "no override"; an unknown name
+    /// aborts with the valid list — an explicit pin must never fall back
+    /// silently (mirrors `SYNPA_ENGINE`).
+    pub fn from_env() -> Option<Self> {
+        let raw = std::env::var("SYNPA_MATCHER").ok()?;
+        let name = raw.trim();
+        if name.is_empty() {
+            return None;
+        }
+        match Self::parse(name) {
+            Ok(kind) => Some(kind),
+            Err(e) => panic!("SYNPA_MATCHER: {e}"),
+        }
+    }
+}
+
+impl std::fmt::Display for MatcherKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// Everything a policy may observe at a quantum boundary.
 #[derive(Debug)]
@@ -85,6 +146,13 @@ pub trait Policy: Send {
     /// Decides the placement for the next quantum. `None` keeps the current
     /// placement (no migrations).
     fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>>;
+
+    /// Matching-layer counters, if this policy drives a pairing matcher
+    /// whose per-quantum work is worth reporting (certificate fast-path
+    /// rate etc.). Baselines return `None`.
+    fn matcher_stats(&self) -> Option<MatcherStats> {
+        None
+    }
 }
 
 /// Assigns pairs to cores, keeping each pair on a core that already hosts
@@ -170,7 +238,7 @@ pub fn units_to_slots(
 fn paired_assignment(
     costs: &[Vec<f64>],
     pad_cost: f64,
-    matcher: impl Fn(&[Vec<f64>]) -> synpa_matching::Pairing,
+    mut matcher: impl FnMut(&[Vec<f64>]) -> synpa_matching::Pairing,
 ) -> (Vec<(usize, usize)>, Vec<usize>) {
     let n = costs.len();
     if n % 2 == 0 {
@@ -275,20 +343,68 @@ pub struct Synpa {
     /// Minimum quanta between migrations (cold caches need time to
     /// re-warm before the next decision is trustworthy).
     pub cooldown: u64,
+    /// Minimum per-component ST-estimate change (vs. the snapshot the
+    /// cost cache was computed from) that re-dirties an app's cost
+    /// row/column. Smoothing deltas at or below this are absorbed without
+    /// re-predicting — and without invalidating the incremental matcher's
+    /// certificate. `0.0` disables the gate (every exact change
+    /// re-predicts, bit-equal to a full rebuild).
+    pub repredict_epsilon: f64,
     last_migration: Option<u64>,
+    /// Which pairing solver runs per quantum (see [`MatcherKind`]).
+    matcher_kind: MatcherKind,
+    /// Persistent incremental matcher (only consulted under
+    /// [`MatcherKind::Incremental`]); reset on app churn.
+    matcher: IncrementalMatcher,
+    /// Counters for the fresh path, so both kinds report comparable
+    /// [`MatcherStats`] (every fresh call is one cold solve).
+    fresh_stats: MatcherStats,
+    /// ST snapshot each app's cost row/column was last predicted from.
+    predicted_st: std::collections::HashMap<usize, Categories>,
+    /// Canonical (id-sorted) app list the cost cache is indexed by.
+    cached_apps: Vec<usize>,
+    /// Persistent cost matrix over `cached_apps`; only dirty rows/columns
+    /// are re-predicted each quantum.
+    cost_cache: Vec<Vec<f64>>,
+    /// Per-app dirty flags, scratch reused across quanta.
+    dirty: Vec<bool>,
 }
 
 impl Synpa {
-    /// Builds the policy around trained model coefficients.
+    /// Builds the policy around trained model coefficients. The pairing
+    /// solver defaults to [`MatcherKind::Incremental`], overridable via
+    /// the `SYNPA_MATCHER` environment variable.
     pub fn new(model: SynpaModel) -> Self {
+        Self::with_matcher(
+            model,
+            MatcherKind::from_env().unwrap_or(MatcherKind::Incremental),
+        )
+    }
+
+    /// Builds the policy with an explicit pairing solver, ignoring the
+    /// environment (differential tests pin both sides with this).
+    pub fn with_matcher(model: SynpaModel, matcher_kind: MatcherKind) -> Self {
         Self {
             model,
             st_estimates: std::collections::HashMap::new(),
             smoothing: 0.6,
             hysteresis: 0.02,
             cooldown: 3,
+            repredict_epsilon: 1e-4,
             last_migration: None,
+            matcher_kind,
+            matcher: IncrementalMatcher::new(),
+            fresh_stats: MatcherStats::default(),
+            predicted_st: std::collections::HashMap::new(),
+            cached_apps: Vec::new(),
+            cost_cache: Vec::new(),
+            dirty: Vec::new(),
         }
+    }
+
+    /// The pairing solver this policy was built with.
+    pub fn matcher_kind(&self) -> MatcherKind {
+        self.matcher_kind
     }
 
     /// Disables smoothing and hysteresis (decisions from the latest quantum
@@ -359,29 +475,90 @@ impl Policy for Synpa {
         }
 
         // Until every app has an estimate, keep the current placement.
-        let apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
-        if !apps.iter().all(|a| self.st_estimates.contains_key(a)) {
+        // Apps are canonicalized to sorted-id order so cost-matrix index i
+        // means the same app across quanta — what lets the cost cache and
+        // the incremental matcher carry state between calls.
+        let mut apps: Vec<usize> = view.placement.iter().map(|&(a, _)| a).collect();
+        apps.sort_unstable();
+        if apps.is_empty() || !apps.iter().all(|a| self.st_estimates.contains_key(a)) {
             return None;
         }
 
-        // Step 2: predict the slowdown of every pair.
-        let n = apps.len();
-        let mut costs = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                if i == j {
-                    continue;
-                }
-                let st_i = &self.st_estimates[&apps[i]];
-                let st_j = &self.st_estimates[&apps[j]];
-                costs[i][j] = self.model.predict_slowdown(st_i, st_j);
+        // Cooldown early-out, hoisted above the cost matrix and the
+        // matching: a cooled-down quantum returns None regardless of what
+        // the solve would say, so don't pay for it. (The PMU absorption
+        // above still runs every quantum — the damped estimates must keep
+        // integrating samples or post-cooldown decisions would change.)
+        // Hysteresis and cooldown are both pure predicates and
+        // `last_migration` is only written when both pass, so checking
+        // cooldown first yields byte-identical decisions.
+        if let Some(last) = self.last_migration {
+            if view.quantum < last + self.cooldown {
+                return None;
             }
         }
 
-        // Step 3: Blossom-optimal pairing (odd counts leave one app
-        // single via the zero-cost virtual node), then place with minimal
-        // moves.
-        let (idx_pairs, idx_singles) = paired_assignment(&costs, 0.0, min_cost_pairing);
+        // Step 2: predict the slowdown of every pair — incrementally. An
+        // app is dirty when its damped ST estimate moved more than
+        // `repredict_epsilon` (any component) from the snapshot its cached
+        // costs were predicted from; only dirty rows/columns are
+        // re-predicted. App churn (set change) rebuilds everything and
+        // resets the incremental matcher: index identity is gone.
+        let n = apps.len();
+        if apps != self.cached_apps {
+            self.cached_apps.clear();
+            self.cached_apps.extend_from_slice(&apps);
+            self.predicted_st.clear();
+            self.matcher.reset();
+            self.cost_cache.clear();
+            self.cost_cache.resize(n, Vec::new());
+            for row in &mut self.cost_cache {
+                row.clear();
+                row.resize(n, 0.0);
+            }
+        }
+        self.dirty.clear();
+        self.dirty.resize(n, false);
+        for (i, &a) in apps.iter().enumerate() {
+            let est = self.st_estimates[&a];
+            let stale = match self.predicted_st.get(&a) {
+                Some(snap) => {
+                    let (e, s) = (est.as_array(), snap.as_array());
+                    (0..3).any(|k| (e[k] - s[k]).abs() > self.repredict_epsilon)
+                }
+                None => true,
+            };
+            if stale {
+                self.predicted_st.insert(a, est);
+            }
+            self.dirty[i] = stale;
+        }
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && (self.dirty[i] || self.dirty[j]) {
+                    let st_i = &self.predicted_st[&apps[i]];
+                    let st_j = &self.predicted_st[&apps[j]];
+                    self.cost_cache[i][j] = self.model.predict_slowdown(st_i, st_j);
+                }
+            }
+        }
+
+        // Step 3: optimal pairing (odd counts leave one app single via
+        // the zero-cost virtual node), then place with minimal moves.
+        // Both matchers solve the same cached matrix and are exact, so the
+        // choice never changes a decision — only its cost.
+        let costs = &self.cost_cache;
+        let (idx_pairs, idx_singles) = match self.matcher_kind {
+            MatcherKind::Fresh => {
+                self.fresh_stats.calls += 1;
+                self.fresh_stats.cold_solves += 1;
+                paired_assignment(costs, 0.0, min_cost_pairing)
+            }
+            MatcherKind::Incremental => {
+                let matcher = &mut self.matcher;
+                paired_assignment(costs, 0.0, |c| matcher.pairing(c))
+            }
+        };
         let pairs: Vec<(usize, usize)> =
             idx_pairs.iter().map(|&(i, j)| (apps[i], apps[j])).collect();
         let singles: Vec<usize> = idx_singles.iter().map(|&i| apps[i]).collect();
@@ -404,11 +581,6 @@ impl Policy for Synpa {
         if optimal_cost >= current_cost * (1.0 - self.hysteresis) {
             return None;
         }
-        if let Some(last) = self.last_migration {
-            if view.quantum < last + self.cooldown {
-                return None;
-            }
-        }
         self.last_migration = Some(view.quantum);
         Some(units_to_slots(
             &pairs,
@@ -416,6 +588,13 @@ impl Policy for Synpa {
             view.placement,
             view.smt_ways,
         ))
+    }
+
+    fn matcher_stats(&self) -> Option<MatcherStats> {
+        Some(match self.matcher_kind {
+            MatcherKind::Fresh => self.fresh_stats,
+            MatcherKind::Incremental => self.matcher.stats(),
+        })
     }
 }
 

@@ -123,6 +123,10 @@ pub struct ServiceResult {
     /// both the queue and the chip were empty; `false` when the quanta cap
     /// cut it off with work still in flight (overload).
     pub drained: bool,
+    /// Matching-layer counters (certificate fast-path / warm / cold solve
+    /// counts), if the policy drives a pairing matcher. The open system is
+    /// the matcher's hardest regime: every detach/admission is churn.
+    pub matcher: Option<synpa_matching::MatcherStats>,
 }
 
 impl ServiceResult {
@@ -285,6 +289,7 @@ pub fn run_service(
         end_cycle: chip.cycle(),
         migrations,
         drained,
+        matcher: policy.matcher_stats(),
     }
 }
 

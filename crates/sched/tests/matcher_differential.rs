@@ -1,0 +1,115 @@
+//! Differential wall: a `Synpa` policy driven by the incremental matcher
+//! must produce byte-identical decisions to one driven by the fresh
+//! matcher on the same quantum stream — including app churn (detach to an
+//! odd count, exercising the virtual-node padding) and phase changes.
+//! Alongside equality, the incremental side must actually use its fast
+//! path once the damped estimates settle, or the whole layer is dead
+//! weight.
+
+use synpa_sched::{MatcherKind, Policy, QuantumView, Synpa};
+use synpa_sim::{PmuCounters, PmuDelta, Slot};
+
+fn model() -> synpa_model::SynpaModel {
+    use synpa_model::CategoryCoeffs;
+    synpa_model::SynpaModel {
+        full_dispatch: CategoryCoeffs {
+            alpha: 0.0,
+            beta: 1.0,
+            gamma: 0.0,
+            rho: 0.0,
+        },
+        frontend: CategoryCoeffs {
+            alpha: 0.03,
+            beta: 1.0,
+            gamma: 0.0,
+            rho: 0.0,
+        },
+        backend: CategoryCoeffs {
+            alpha: 0.1,
+            beta: 1.0,
+            gamma: 0.1,
+            rho: 0.8,
+        },
+    }
+}
+
+fn delta(fe: u64, be: u64) -> PmuDelta {
+    PmuCounters {
+        cpu_cycles: 1000,
+        inst_spec: (1000 - fe - be) * 4,
+        stall_frontend: fe,
+        stall_backend: be,
+        inst_retired: (1000 - fe - be) * 4,
+        ..Default::default()
+    }
+}
+
+/// Per-app stall mix for quantum `q`: three regimes — settling (constant
+/// samples, so damped estimates converge and the matrix goes sub-epsilon),
+/// a phase flip at q = 25 (backend-ish set inverts), and wobble.
+fn sample(a: u64, q: u64) -> PmuDelta {
+    let backendish = (a % 2 == 0) ^ (q >= 25);
+    let wobble = if q >= 25 { (a * 7 + q * 13) % 11 } else { 0 };
+    let (fe, be) = if backendish {
+        (60 + 2 * wobble, 550 - 3 * wobble)
+    } else {
+        (450 + 2 * wobble, 80 + 3 * wobble)
+    };
+    delta(fe, be)
+}
+
+#[test]
+fn incremental_matcher_reproduces_fresh_decisions_under_churn() {
+    let mut fresh = Synpa::with_matcher(model(), MatcherKind::Fresh);
+    let mut incremental = Synpa::with_matcher(model(), MatcherKind::Incremental);
+    assert_eq!(fresh.matcher_kind(), MatcherKind::Fresh);
+
+    let mut placement: Vec<(usize, Slot)> = (0..8usize).map(|a| (a, Slot(a))).collect();
+    let mut fast_path_before_churn = 0;
+    for q in 0..50u64 {
+        // Detach app 7 at q = 35: seven apps remain (odd — the pairing
+        // pads with a zero-cost virtual node) and the incremental matcher
+        // must reset cleanly on the churn.
+        if q == 35 {
+            placement.retain(|&(a, _)| a != 7);
+            fast_path_before_churn = incremental
+                .matcher_stats()
+                .expect("synpa reports matcher stats")
+                .certificate_hits;
+        }
+        let samples: Vec<(usize, PmuDelta)> = placement
+            .iter()
+            .map(|&(a, _)| (a, sample(a as u64, q)))
+            .collect();
+        let view = QuantumView {
+            quantum: q,
+            samples: &samples,
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+        };
+        let df = fresh.decide(&view);
+        let di = incremental.decide(&view);
+        assert_eq!(df, di, "decisions diverged at quantum {q}");
+        if let Some(p) = df {
+            placement = p;
+            placement.sort_unstable();
+        }
+    }
+
+    let stats = incremental
+        .matcher_stats()
+        .expect("synpa reports matcher stats");
+    // The settling regime must produce certificate hits before the churn,
+    // and every call must be accounted for.
+    assert!(
+        fast_path_before_churn > 0,
+        "no fast-path hits while estimates settled: {stats:?}"
+    );
+    assert_eq!(stats.calls, stats.certificate_hits + stats.solves());
+
+    // The fresh side reports pure cold solves, same call count shape.
+    let fresh_stats = fresh.matcher_stats().expect("fresh side reports too");
+    assert_eq!(fresh_stats.calls, fresh_stats.cold_solves);
+    assert_eq!(fresh_stats.certificate_hits, 0);
+}
