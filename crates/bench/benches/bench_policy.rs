@@ -36,6 +36,7 @@ fn quantum_decision(c: &mut Criterion) {
                 placement: &placement,
                 smt_ways: 2,
                 dispatch_width: 4,
+                degraded: &[],
             };
             black_box(policy.decide(&view))
         })
@@ -48,6 +49,7 @@ fn quantum_decision(c: &mut Criterion) {
                 placement: &placement,
                 smt_ways: 2,
                 dispatch_width: 4,
+                degraded: &[],
             };
             black_box(LinuxLike.decide(&view))
         })

@@ -70,9 +70,10 @@ impl<W: Write> TraceWriter<W> {
         Self { out, records: 0 }
     }
 
-    /// Appends one record.
+    /// Appends one record. Serialization failure surfaces as an I/O error
+    /// like any write failure would, instead of panicking mid-trace.
     pub fn write(&mut self, rec: &QuantumRecord) -> std::io::Result<()> {
-        let line = serde_json::to_string(rec).expect("record serializes");
+        let line = serde_json::to_string(rec).map_err(std::io::Error::other)?;
         writeln!(self.out, "{line}")?;
         self.records += 1;
         Ok(())

@@ -48,11 +48,24 @@ impl SamplingSession {
             let Some(now) = source.read_counters(id) else {
                 continue;
             };
-            let prev = self.last.insert(id, now);
-            let delta = now.delta_since(&prev.unwrap_or_default());
-            out.push((id, delta));
+            out.push((id, self.observe(id, now)));
         }
         out
+    }
+
+    /// Records one cumulative snapshot for an app and returns the delta
+    /// since the previous one (full cumulative counts on the first
+    /// observation). This is [`SamplingSession::sample`] for a single
+    /// already-read snapshot — the sanitizing layer uses it so rollback
+    /// detection and rebasing share one snapshot store.
+    pub fn observe(&mut self, app_id: usize, now: PmuCounters) -> PmuDelta {
+        let prev = self.last.insert(app_id, now);
+        now.delta_since(&prev.unwrap_or_default())
+    }
+
+    /// The last cumulative snapshot recorded for an app, if any.
+    pub fn last_of(&self, app_id: usize) -> Option<PmuCounters> {
+        self.last.get(&app_id).copied()
     }
 
     /// Forgets an app (e.g. it terminated); its next sample restarts from

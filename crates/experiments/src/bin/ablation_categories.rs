@@ -12,7 +12,7 @@ fn main() {
 
     println!("collecting 3-category training data...");
     let samples3 = collect_all_samples(&train_apps, &cfg, threads());
-    let report3 = fit_from_samples(&samples3, &cfg);
+    let report3 = fit_from_samples(&samples3, &cfg).expect("collected samples fit");
     // Held-out MSE of the predicted total CPI under the 3-category model.
     let split = (samples3.len() as f64 * cfg.train_fraction) as usize;
     let holdout = &samples3[split..];

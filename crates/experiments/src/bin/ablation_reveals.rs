@@ -23,7 +23,7 @@ fn main() {
             ..Default::default()
         };
         let samples = collect_all_samples(&train_apps, &cfg, threads());
-        let report = fit_from_samples(&samples, &cfg);
+        let report = fit_from_samples(&samples, &cfg).expect("collected samples fit");
         // Held-out slowdown error (what pair selection actually consumes).
         let at = (samples.len() as f64 * cfg.train_fraction) as usize;
         let holdout = &samples[at..];

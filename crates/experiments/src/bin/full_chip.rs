@@ -40,7 +40,7 @@ fn usage(reason: &str) -> ! {
     eprintln!("error: {reason}");
     eprintln!(
         "usage: full_chip [--smoke] [--workloads N] [--reps N] \
-         [--engine reference|batched|percore|burst|parallel]"
+         [--engine reference|batched|percore|burst|parallel] [--faults seed:rate]"
     );
     std::process::exit(2)
 }
@@ -51,6 +51,7 @@ fn main() {
     let mut n_workloads: Option<usize> = None;
     let mut reps: Option<u32> = None;
     let mut engine: Option<EngineKind> = None;
+    let mut faults: Option<FaultConfig> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,6 +63,16 @@ fn main() {
             "--engine" => {
                 let name = it.next().unwrap_or_else(|| usage("--engine needs a value"));
                 engine = Some(EngineKind::parse(name).unwrap_or_else(|e| usage(&e)));
+            }
+            // Seeded counter-fault injection (chaos mode): uniform rate
+            // split across the six fault kinds, byte-replayable from the
+            // seed. Same determinism contract as the healthy table — CI
+            // byte-diffs a fixed seed:rate across engines and thread counts.
+            "--faults" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--faults needs seed:rate"));
+                faults = Some(FaultConfig::parse(v).unwrap_or_else(|e| usage(&e)));
             }
             "--workloads" => {
                 n_workloads = Some(
@@ -93,6 +104,7 @@ fn main() {
             chip,
             quantum_cycles: if smoke { 5_000 } else { 10_000 },
             max_quanta: 3_000,
+            faults,
         },
         target_window: if smoke { 20_000 } else { 120_000 },
         calibration_warmup: if smoke { 10_000 } else { 40_000 },
@@ -202,6 +214,19 @@ fn main() {
             "{:<6} {:<8} matcher: {} pairing quanta, {:.1}% fast-path, {} warm, {} cold",
             "", "", synpa.matcher_quanta, rate, synpa.matcher_warm, synpa.matcher_cold,
         );
+        // Printed only under --faults, so the healthy table stays
+        // byte-identical to runs built before fault injection existed.
+        if faults.is_some() {
+            println!(
+                "{:<6} {:<8} faults: {} injected, {} degraded quanta (linux: {} / {})",
+                "",
+                "",
+                synpa.faults_injected,
+                synpa.degraded_quanta,
+                linux.faults_injected,
+                linux.degraded_quanta,
+            );
+        }
     }
     println!("\nwall time: {:.1}s", wall.as_secs_f64());
 }

@@ -38,7 +38,7 @@ fn usage(reason: &str) -> ! {
     eprintln!("error: {reason}");
     eprintln!(
         "usage: open_system [--smoke] [--arrivals N] \
-         [--engine reference|batched|percore|burst|parallel]"
+         [--engine reference|batched|percore|burst|parallel] [--faults seed:rate]"
     );
     std::process::exit(2)
 }
@@ -55,6 +55,7 @@ fn main() {
     let mut smoke = false;
     let mut n_arrivals: Option<usize> = None;
     let mut engine: Option<EngineKind> = None;
+    let mut faults: Option<FaultConfig> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -62,6 +63,14 @@ fn main() {
             "--engine" => {
                 let name = it.next().unwrap_or_else(|| usage("--engine needs a value"));
                 engine = Some(EngineKind::parse(name).unwrap_or_else(|e| usage(&e)));
+            }
+            // Seeded counter-fault injection on the service path; same
+            // byte-replayable contract as `full_chip --faults`.
+            "--faults" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--faults needs seed:rate"));
+                faults = Some(FaultConfig::parse(v).unwrap_or_else(|e| usage(&e)));
             }
             "--arrivals" => {
                 n_arrivals = Some(
@@ -86,6 +95,7 @@ fn main() {
             chip: chip.clone(),
             quantum_cycles: if smoke { 5_000 } else { 10_000 },
             max_quanta: if smoke { 2_000 } else { 10_000 },
+            faults,
         },
         target_window,
         calibration_warmup: if smoke { 10_000 } else { 40_000 },
@@ -224,6 +234,11 @@ fn main() {
                 r.migrations,
                 r.drained,
             );
+            // Printed only under --faults, so the healthy table stays
+            // byte-identical to pre-fault-injection runs.
+            if faults.is_some() {
+                println!("{:<6} {:<8} faults: {}", "", "", r.degraded.summary());
+            }
         }
     }
     println!("\nwall time: {:.1}s", t0.elapsed().as_secs_f64());

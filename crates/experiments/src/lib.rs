@@ -80,7 +80,7 @@ pub fn trained_model() -> (SynpaModel, [f64; 3]) {
         }
     }
     let (train_set, _) = training_split();
-    let report = train(&train_set, &TrainingConfig::default(), threads());
+    let report = train(&train_set, &TrainingConfig::default(), threads()).expect("catalog fits");
     let m = report.model;
     let disk = ModelOnDisk {
         coeffs: [

@@ -53,6 +53,13 @@ pub struct SuiteCell {
     pub matcher_warm: u64,
     /// Cold blossom solves among those calls.
     pub matcher_cold: u64,
+    /// Quanta with at least one degraded sample in the exemplar repetition
+    /// (0 on healthy sources). Like the matcher counters above, deliberately
+    /// no serde default: robustness accounting must invalidate stale cells.
+    pub degraded_quanta: u64,
+    /// Faults injected in the exemplar repetition (0 unless the cell ran
+    /// with fault injection enabled).
+    pub faults_injected: u64,
 }
 
 impl SuiteCell {
@@ -73,6 +80,8 @@ impl SuiteCell {
             matcher_fast_path: cell.exemplar.matcher.map_or(0, |m| m.certificate_hits),
             matcher_warm: cell.exemplar.matcher.map_or(0, |m| m.warm_solves),
             matcher_cold: cell.exemplar.matcher.map_or(0, |m| m.cold_solves),
+            degraded_quanta: cell.exemplar.degraded.quanta_degraded,
+            faults_injected: cell.exemplar.degraded.injected_total(),
         }
     }
 }
@@ -646,6 +655,8 @@ mod tests {
             matcher_fast_path: 0,
             matcher_warm: 0,
             matcher_cold: 0,
+            degraded_quanta: 0,
+            faults_injected: 0,
         };
         store_cell(&dir, "right", &cell);
         std::fs::rename(dir.join("right.json"), dir.join("wrong.json")).unwrap();

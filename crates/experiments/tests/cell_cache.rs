@@ -58,6 +58,8 @@ fn sentinel() -> SuiteCell {
         matcher_fast_path: 0,
         matcher_warm: 0,
         matcher_cold: 0,
+        degraded_quanta: 0,
+        faults_injected: 0,
     }
 }
 

@@ -15,7 +15,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .collect();
     println!("training on {} apps", apps.len());
-    let report = train(&apps, &TrainingConfig::default(), 16);
+    let report = train(&apps, &TrainingConfig::default(), 16).expect("catalog fits");
     println!("elapsed {:?}", t0.elapsed());
     println!(
         "{:<16} {:>8} {:>8} {:>8} {:>8}  MSE",

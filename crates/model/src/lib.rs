@@ -20,7 +20,7 @@
 //! use synpa_model::training::{train, TrainingConfig};
 //!
 //! let apps: Vec<_> = spec::catalog().into_iter().take(6).collect();
-//! let report = train(&apps, &TrainingConfig::default(), 4);
+//! let report = train(&apps, &TrainingConfig::default(), 4).expect("catalog fits");
 //! println!("Table IV analogue: {:?}", report.model.coeffs());
 //! println!("held-out MSE per category: {:?}", report.mse);
 //! ```

@@ -233,10 +233,49 @@ pub struct FitReport {
     pub test_samples: usize,
 }
 
+/// Errors produced when training data cannot support a fit. These are
+/// *data* problems (empty app set, collapsed category space), not bugs:
+/// callers feeding recorded traces or ablated sample sets get a
+/// descriptive error instead of a panic deep inside the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrainingError {
+    /// No pair samples at all: the application set was empty or every
+    /// co-run produced zero quanta.
+    NoSamples,
+    /// One category's design matrix was singular in every subset variant
+    /// (all samples identical in that category), so no coefficients fit.
+    DegenerateCategory(usize),
+}
+
+impl std::fmt::Display for TrainingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        const NAMES: [&str; 3] = ["full-dispatch", "frontend", "backend"];
+        match self {
+            TrainingError::NoSamples => {
+                write!(
+                    f,
+                    "no training samples: empty app set or zero-quantum co-runs"
+                )
+            }
+            TrainingError::DegenerateCategory(i) => write!(
+                f,
+                "degenerate training data: no Equation-1 variant fits the {} category",
+                NAMES.get(*i).copied().unwrap_or("?"),
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainingError {}
+
 /// Trains the SYNPA model on the given applications (§IV-C end to end).
 ///
 /// Pair runs are independent, so they execute on `threads` worker threads.
-pub fn train(apps: &[AppProfile], cfg: &TrainingConfig, threads: usize) -> FitReport {
+pub fn train(
+    apps: &[AppProfile],
+    cfg: &TrainingConfig,
+    threads: usize,
+) -> Result<FitReport, TrainingError> {
     let samples = collect_all_samples(apps, cfg, threads);
     fit_from_samples(&samples, cfg)
 }
@@ -265,7 +304,13 @@ pub fn collect_all_samples(
 
 /// Fits the model from pre-collected samples: random shuffle, train/holdout
 /// split, per-category least squares, held-out MSE.
-pub fn fit_from_samples(samples: &[PairSample], cfg: &TrainingConfig) -> FitReport {
+pub fn fit_from_samples(
+    samples: &[PairSample],
+    cfg: &TrainingConfig,
+) -> Result<FitReport, TrainingError> {
+    if samples.is_empty() {
+        return Err(TrainingError::NoSamples);
+    }
     let mut shuffled: Vec<&PairSample> = samples.iter().collect();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     shuffled.shuffle(&mut rng);
@@ -289,10 +334,9 @@ pub fn fit_from_samples(samples: &[PairSample], cfg: &TrainingConfig) -> FitRepo
     let variants: Vec<Vec<CategoryCoeffs>> = (0..3)
         .map(|idx| CategoryCoeffs::fit_variants(&extract(train_set, idx)))
         .collect();
-    assert!(
-        variants.iter().all(|v| !v.is_empty()),
-        "training data spans the category space"
-    );
+    if let Some(idx) = variants.iter().position(|v| v.is_empty()) {
+        return Err(TrainingError::DegenerateCategory(idx));
+    }
 
     // Model selection by *decision quality*: the policy only ever uses the
     // model to rank pair slowdowns, so pick the per-category variants whose
@@ -337,18 +381,22 @@ pub fn fit_from_samples(samples: &[PairSample], cfg: &TrainingConfig) -> FitRepo
             }
         }
     }
-    let model = best.expect("at least one variant fits").1;
+    // Every category had at least one variant, so the cross product is
+    // non-empty; `None` here would mean the loop above never ran.
+    let Some((_, model)) = best else {
+        return Err(TrainingError::DegenerateCategory(0));
+    };
     let mse = [
         model.full_dispatch.mse(&extract(eval_set, 0)),
         model.frontend.mse(&extract(eval_set, 1)),
         model.backend.mse(&extract(eval_set, 2)),
     ];
-    FitReport {
+    Ok(FitReport {
         model,
         mse,
         train_samples: train_set.len(),
         test_samples: test_set.len(),
-    }
+    })
 }
 
 /// Builds an ST profile from a recorded isolated-execution counter trace
@@ -509,7 +557,7 @@ mod tests {
         // 4 diverse apps: enough variance to fit 4 coefficients per category.
         let names = ["mcf", "nab_r", "gobmk", "hmmer"];
         let apps: Vec<_> = names.iter().map(|n| spec::by_name(n).unwrap()).collect();
-        let report = train(&apps, &tiny_cfg(), 4);
+        let report = train(&apps, &tiny_cfg(), 4).expect("diverse apps fit");
         assert!(report.train_samples > 0);
         assert!(report.test_samples > 0);
         for (i, m) in report.mse.iter().enumerate() {
@@ -588,6 +636,36 @@ mod tests {
         let prof = st_profile_from_trace("x", &records, 4, RevealsSplit::AllToBackend);
         assert_eq!(prof.quanta.len(), 5);
         assert_eq!(prof.quanta.last().unwrap().0, 10_000);
+    }
+
+    #[test]
+    fn empty_sample_set_is_a_descriptive_error() {
+        let err = fit_from_samples(&[], &tiny_cfg()).unwrap_err();
+        assert_eq!(err, TrainingError::NoSamples);
+        assert!(err.to_string().contains("no training samples"));
+    }
+
+    #[test]
+    fn collapsed_category_space_is_a_descriptive_error() {
+        // Every sample identical: each category's design matrix is rank-1,
+        // so no Equation-1 subset variant can fit. Must be an error naming
+        // the offending category, never a solver panic.
+        let c = Categories::from_array([0.2, 0.3, 0.5]);
+        let samples: Vec<PairSample> = (0..16)
+            .map(|_| PairSample {
+                app_i: 0,
+                app_j: 1,
+                st_i: c,
+                st_j: c,
+                smt_ij: c,
+            })
+            .collect();
+        let err = fit_from_samples(&samples, &tiny_cfg()).unwrap_err();
+        assert!(
+            matches!(err, TrainingError::DegenerateCategory(_)),
+            "got {err:?}"
+        );
+        assert!(err.to_string().contains("degenerate training data"));
     }
 
     #[test]

@@ -11,7 +11,9 @@ fn main() {
         .filter(|(i, _)| i % 14 != 6 && i % 14 != 13)
         .map(|(_, a)| a.clone())
         .collect();
-    let model = train(&train_apps, &TrainingConfig::default(), 16).model;
+    let model = train(&train_apps, &TrainingConfig::default(), 16)
+        .expect("catalog fits")
+        .model;
     let cfg = ExperimentConfig {
         reps: 5,
         ..Default::default()

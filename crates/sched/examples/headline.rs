@@ -15,7 +15,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .collect();
     let t0 = std::time::Instant::now();
-    let report = train(&train_apps, &TrainingConfig::default(), 16);
+    let report = train(&train_apps, &TrainingConfig::default(), 16).expect("catalog fits");
     eprintln!(
         "trained in {:?}; BE coeffs {:?}",
         t0.elapsed(),

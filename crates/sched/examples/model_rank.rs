@@ -34,7 +34,7 @@ fn main() {
         .map(|(_, a)| a.clone())
         .collect();
     let tcfg = TrainingConfig::default();
-    let model = train(&train_apps, &tcfg, 16).model;
+    let model = train(&train_apps, &tcfg, 16).expect("catalog fits").model;
     eprintln!("backend coeffs: {:?}", model.backend);
 
     for name in ["be1", "be3", "fb2", "fb7"] {

@@ -25,12 +25,12 @@ mod runner;
 mod service;
 
 pub use manager::{
-    first_free_slot, run_workload, run_workload_with_arrivals, AppResult, ManagerConfig,
-    QuantumRow, RunResult,
+    first_free_slot, run_workload, run_workload_with_arrivals, AppResult, DegradedStats,
+    ManagerConfig, QuantumRow, RunResult,
 };
 pub use policy::{
-    pairs_to_slots, GreedySynpa, LinuxLike, MatcherKind, OracleSynpa, Policy, QuantumView,
-    RandomPairing, StaticPairs, Synpa,
+    pairs_to_slots, GreedySynpa, GuardrailStats, LinuxLike, MatcherKind, OracleSynpa, Policy,
+    QuantumView, RandomPairing, StaticPairs, Synpa,
 };
 pub use runner::{
     cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome, ExperimentConfig,

@@ -11,7 +11,7 @@
 
 use crate::policy::{Policy, QuantumView};
 use synpa_apps::AppProfile;
-use synpa_counters::SamplingSession;
+use synpa_counters::{FaultConfig, FaultInjector, FaultKind, InjectedCounts, SanitizingSession};
 use synpa_model::Categories;
 use synpa_sim::{Chip, ChipConfig, Slot, ThreadProgram};
 
@@ -101,6 +101,70 @@ pub struct RunResult {
     /// counts), if the policy drives a pairing matcher. Engine- and
     /// thread-count-independent, like every other field here.
     pub matcher: Option<synpa_matching::MatcherStats>,
+    /// Sample-health and fault accounting for the run. All-zero (with
+    /// `injected` all-zero) on a healthy source without fault injection.
+    pub degraded: DegradedStats,
+}
+
+/// Fault-tolerance accounting for one run: what the sanitizer classified,
+/// what the injector injected, and how the policy guardrails reacted.
+/// Derived entirely from deterministic state, so it is engine-,
+/// thread-count- and matcher-independent like every other result field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DegradedStats {
+    /// Samples classified Ok.
+    pub samples_ok: u64,
+    /// Samples clamped (non-monotonic snapshot, saturated delta).
+    pub samples_clamped: u64,
+    /// Samples held over from the last good delta.
+    pub samples_held: u64,
+    /// Samples missing outright (no row reached the policy).
+    pub samples_missing: u64,
+    /// Quanta with at least one non-Ok sample.
+    pub quanta_degraded: u64,
+    /// Faults injected, by kind in `FaultKind::ALL` order. All-zero when
+    /// fault injection is off.
+    pub injected: InjectedCounts,
+    /// Times the policy entered fallback (0 for policies without
+    /// guardrails).
+    pub fallback_entries: u64,
+    /// Quanta the policy spent in fallback.
+    pub fallback_quanta: u64,
+}
+
+impl DegradedStats {
+    /// Total faults injected across all kinds.
+    pub fn injected_total(&self) -> u64 {
+        self.injected.iter().sum()
+    }
+
+    /// Samples that were anything but Ok.
+    pub fn samples_degraded(&self) -> u64 {
+        self.samples_clamped + self.samples_held + self.samples_missing
+    }
+
+    /// One-line accounting summary (the `faults:` row of the experiment
+    /// tables): injected per kind, classification totals, fallback counts.
+    pub fn summary(&self) -> String {
+        let per_kind = FaultKind::ALL
+            .iter()
+            .enumerate()
+            .map(|(i, k)| format!("{} {}", k.name(), self.injected[i]))
+            .collect::<Vec<_>>()
+            .join(" ");
+        format!(
+            "injected {} ({per_kind}), quanta degraded {}, samples ok {} clamped {} held {} \
+             missing {}, fallback entries {} quanta {}",
+            self.injected_total(),
+            self.quanta_degraded,
+            self.samples_ok,
+            self.samples_clamped,
+            self.samples_held,
+            self.samples_missing,
+            self.fallback_entries,
+            self.fallback_quanta,
+        )
+    }
 }
 
 /// Manager configuration.
@@ -112,6 +176,10 @@ pub struct ManagerConfig {
     pub quantum_cycles: u64,
     /// Hard cap on quanta (safety against livelock).
     pub max_quanta: u64,
+    /// Seeded counter-fault injection (chaos testing). `None` — the
+    /// default — reads the chip directly and is byte-identical to the
+    /// pre-fault-layer behaviour.
+    pub faults: Option<FaultConfig>,
 }
 
 impl Default for ManagerConfig {
@@ -120,6 +188,7 @@ impl Default for ManagerConfig {
             chip: ChipConfig::thunderx2(4),
             quantum_cycles: 10_000,
             max_quanta: 3_000,
+            faults: None,
         }
     }
 }
@@ -205,6 +274,7 @@ pub(crate) fn decide_and_apply(
     policy: &mut dyn Policy,
     quantum: u64,
     samples: &[(usize, synpa_sim::PmuDelta)],
+    degraded: &[usize],
     placement: &[(usize, Slot)],
     migrations: &mut u64,
 ) {
@@ -215,6 +285,7 @@ pub(crate) fn decide_and_apply(
         placement,
         smt_ways: smt,
         dispatch_width: chip.config().core.dispatch_width,
+        degraded,
     };
     if let Some(new_placement) = policy.decide(&view) {
         for &(app, new_slot) in &new_placement {
@@ -224,6 +295,49 @@ pub(crate) fn decide_and_apply(
             }
         }
         chip.set_placement(&new_placement);
+    }
+}
+
+/// One quantum's sanitized sampling pass, optionally through the fault
+/// injector. Shared by the closed-batch manager and the open-system
+/// service so both read the chip through exactly the same fault/sanitize
+/// stack.
+pub(crate) fn sample_sanitized(
+    session: &mut SanitizingSession,
+    injector: Option<&mut FaultInjector>,
+    chip: &Chip,
+    ids: &[usize],
+    quantum: u64,
+) -> synpa_counters::SanitizedQuantum {
+    match injector {
+        Some(inj) => {
+            inj.begin_quantum(quantum);
+            let src = inj.wrap(chip);
+            session.sample(&src, ids, quantum)
+        }
+        None => session.sample(chip, ids, quantum),
+    }
+}
+
+/// Assembles the end-of-run [`DegradedStats`] from the sanitizer ledger,
+/// the injector counters and the policy guardrails.
+pub(crate) fn degraded_stats(
+    session: &SanitizingSession,
+    injector: Option<&FaultInjector>,
+    quanta_degraded: u64,
+    policy: &dyn Policy,
+) -> DegradedStats {
+    let totals = session.totals();
+    let guard = policy.guardrail_stats().unwrap_or_default();
+    DegradedStats {
+        samples_ok: totals.ok,
+        samples_clamped: totals.clamped,
+        samples_held: totals.held,
+        samples_missing: totals.missing,
+        quanta_degraded,
+        injected: injector.map(|i| i.injected()).unwrap_or_default(),
+        fallback_entries: guard.fallback_entries,
+        fallback_quanta: guard.fallback_quanta,
     }
 }
 
@@ -272,13 +386,14 @@ pub fn run_workload_with_arrivals(
     pending.sort_by_key(|&k| (arrival(k), k));
     let mut next_pending = 0usize;
 
-    let ids: Vec<usize> = (0..n).collect();
-    let mut session = SamplingSession::new();
+    let mut session = SanitizingSession::new().with_cycle_bound(cfg.quantum_cycles);
+    let mut injector = cfg.faults.as_ref().map(FaultInjector::new);
     let mut trace = Vec::new();
     let mut tt: Vec<Option<u64>> = vec![None; n];
     let mut attached_at: Vec<Option<u64>> = vec![None; n];
     let mut migrations = 0u64;
     let mut quantum = 0u64;
+    let mut quanta_degraded = 0u64;
 
     while quantum < cfg.max_quanta && tt.iter().any(|t| t.is_none()) {
         // Attach every due app there is room for (at cycle 0 this is the
@@ -305,14 +420,32 @@ pub fn run_workload_with_arrivals(
                 tt[ev.app_id] = Some(ev.cycle - arrival(ev.app_id));
             }
         }
-        let samples = session.sample(&chip, &ids);
+        // Sample only the apps actually on the chip, in ascending-id order
+        // (the same rows the plain session produced by skipping unplaced
+        // ids). Unplaced apps must never reach the sanitizer: a held-over
+        // row for an app with no slot would poison the characterization
+        // log and the policy view.
         let placement = chip.placement();
-        log_quantum(&mut trace, quantum, &samples, &placement, smt, width);
+        let mut ids: Vec<usize> = placement.iter().map(|&(a, _)| a).collect();
+        ids.sort_unstable();
+        let sanitized = sample_sanitized(&mut session, injector.as_mut(), &chip, &ids, quantum);
+        if !sanitized.is_clean() {
+            quanta_degraded += 1;
+        }
+        log_quantum(
+            &mut trace,
+            quantum,
+            &sanitized.samples,
+            &placement,
+            smt,
+            width,
+        );
         decide_and_apply(
             &mut chip,
             policy,
             quantum,
-            &samples,
+            &sanitized.samples,
+            &sanitized.degraded,
             &placement,
             &mut migrations,
         );
@@ -363,6 +496,7 @@ pub fn run_workload_with_arrivals(
         quanta: quantum,
         migrations,
         matcher: policy.matcher_stats(),
+        degraded: degraded_stats(&session, injector.as_ref(), quanta_degraded, policy),
     }
 }
 

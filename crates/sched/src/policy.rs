@@ -86,6 +86,12 @@ pub struct QuantumView<'a> {
     pub smt_ways: usize,
     /// Dispatch width (needed for the category characterization).
     pub dispatch_width: u32,
+    /// Apps whose sample this quantum was degraded (clamped, held over, or
+    /// missing — see `synpa_counters::SampleStatus`). Their rows in
+    /// `samples`, if present, are replays or saturated clamps, not fresh
+    /// measurements; estimate-updating policies must not learn from them.
+    /// Empty whenever every read was healthy — the fault-free case.
+    pub degraded: &'a [usize],
 }
 
 impl QuantumView<'_> {
@@ -136,6 +142,22 @@ impl QuantumView<'_> {
             .find(|(id, _)| *id == app)
             .map(|(_, d)| d)
     }
+
+    /// Whether this app's sample was degraded this quantum.
+    pub fn is_degraded(&self, app: usize) -> bool {
+        self.degraded.contains(&app)
+    }
+}
+
+/// Degraded-mode guardrail counters of an estimate-driven policy (how
+/// often it refused to act on bad samples). Baselines report `None` from
+/// [`Policy::guardrail_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GuardrailStats {
+    /// Times the policy entered fallback (hold pairing, no migrations).
+    pub fallback_entries: u64,
+    /// Quanta spent in fallback.
+    pub fallback_quanta: u64,
 }
 
 /// A thread-to-core allocation policy.
@@ -151,6 +173,12 @@ pub trait Policy: Send {
     /// whose per-quantum work is worth reporting (certificate fast-path
     /// rate etc.). Baselines return `None`.
     fn matcher_stats(&self) -> Option<MatcherStats> {
+        None
+    }
+
+    /// Degraded-mode guardrail counters, if this policy tracks sample
+    /// health and can enter fallback. Baselines return `None`.
+    fn guardrail_stats(&self) -> Option<GuardrailStats> {
         None
     }
 }
@@ -350,6 +378,19 @@ pub struct Synpa {
     /// certificate. `0.0` disables the gate (every exact change
     /// re-predicts, bit-equal to a full rebuild).
     pub repredict_epsilon: f64,
+    /// Guardrail K: consecutive severely-degraded quanta (at least half
+    /// the placed rows degraded) before entering fallback — hold the
+    /// current pairing, no migrations, LinuxLike-equivalent behaviour.
+    pub fallback_after: u64,
+    /// Guardrail R (hysteresis): consecutive fully-clean quanta required
+    /// to leave fallback. Separate from K so the policy doesn't flap at
+    /// the degradation boundary.
+    pub recover_after: u64,
+    degraded_streak: u64,
+    clean_streak: u64,
+    in_fallback: bool,
+    fallback_entries: u64,
+    fallback_quanta: u64,
     last_migration: Option<u64>,
     /// Which pairing solver runs per quantum (see [`MatcherKind`]).
     matcher_kind: MatcherKind,
@@ -391,6 +432,13 @@ impl Synpa {
             hysteresis: 0.02,
             cooldown: 3,
             repredict_epsilon: 1e-4,
+            fallback_after: 4,
+            recover_after: 4,
+            degraded_streak: 0,
+            clean_streak: 0,
+            in_fallback: false,
+            fallback_entries: 0,
+            fallback_quanta: 0,
             last_migration: None,
             matcher_kind,
             matcher: IncrementalMatcher::new(),
@@ -437,6 +485,37 @@ impl Synpa {
     pub fn model(&self) -> &SynpaModel {
         &self.model
     }
+
+    /// Whether the guardrails currently hold the policy in fallback.
+    pub fn in_fallback(&self) -> bool {
+        self.in_fallback
+    }
+
+    /// Advances the degraded/clean streaks and the fallback state machine
+    /// for one quantum. Returns `true` when this quantum must be spent in
+    /// fallback (hold the pairing). With healthy samples (`degraded`
+    /// empty every quantum) this never fires and never changes a decision.
+    fn update_guardrails(&mut self, view: &QuantumView<'_>) -> bool {
+        let placed = view.placement.len();
+        let severe = placed > 0 && view.degraded.len() * 2 >= placed;
+        self.degraded_streak = if severe { self.degraded_streak + 1 } else { 0 };
+        self.clean_streak = if placed > 0 && view.degraded.is_empty() {
+            self.clean_streak + 1
+        } else {
+            0
+        };
+        if !self.in_fallback && self.degraded_streak >= self.fallback_after {
+            self.in_fallback = true;
+            self.fallback_entries += 1;
+        }
+        if self.in_fallback && self.clean_streak >= self.recover_after {
+            self.in_fallback = false;
+        }
+        if self.in_fallback {
+            self.fallback_quanta += 1;
+        }
+        self.in_fallback
+    }
 }
 
 impl Policy for Synpa {
@@ -445,8 +524,21 @@ impl Policy for Synpa {
     }
 
     fn decide(&mut self, view: &QuantumView<'_>) -> Option<Vec<(usize, Slot)>> {
+        // Guardrails first: track sample-health streaks and the fallback
+        // state machine (see docs/robustness.md). The absorption below
+        // still integrates every *clean* sample even while in fallback,
+        // so recovery resumes from live estimates.
+        let in_fallback = self.update_guardrails(view);
         // Step 1: invert the model per current pair to recover ST values.
+        // A degraded row (clamped, held over, or missing) is a replay or a
+        // saturated clamp, not a measurement: the app keeps (re-uses) its
+        // previous ST estimate instead of absorbing garbage, and inversion
+        // is skipped for the whole pair — the co-runner's delta was shaped
+        // by the same quantum the bad sample failed to measure.
         for (a, b) in view.pairs() {
+            if view.is_degraded(a) || view.is_degraded(b) {
+                continue;
+            }
             let (Some(da), Some(db)) = (view.delta_of(a), view.delta_of(b)) else {
                 continue;
             };
@@ -464,6 +556,9 @@ impl Policy for Synpa {
         // needed. This is how singles (odd counts, half-empty cores under
         // churn) enter the estimate pool.
         for s in view.singles() {
+            if view.is_degraded(s) {
+                continue;
+            }
             let Some(d) = view.delta_of(s) else {
                 continue;
             };
@@ -472,6 +567,12 @@ impl Policy for Synpa {
             }
             let st = Categories::from_delta(d, view.dispatch_width);
             self.absorb(s, st);
+        }
+        // Fallback holds the current pairing outright (no migrations —
+        // LinuxLike-equivalent) until the hysteretic recovery in
+        // `update_guardrails` sees enough consecutive clean quanta.
+        if in_fallback {
+            return None;
         }
 
         // Until every app has an estimate, keep the current placement.
@@ -596,6 +697,13 @@ impl Policy for Synpa {
             MatcherKind::Incremental => self.matcher.stats(),
         })
     }
+
+    fn guardrail_stats(&self) -> Option<GuardrailStats> {
+        Some(GuardrailStats {
+            fallback_entries: self.fallback_entries,
+            fallback_quanta: self.fallback_quanta,
+        })
+    }
 }
 
 /// A fixed pairing applied once at the first quantum and never revisited.
@@ -682,6 +790,10 @@ impl Policy for GreedySynpa {
             view.placement,
             view.smt_ways,
         ))
+    }
+
+    fn guardrail_stats(&self) -> Option<GuardrailStats> {
+        self.inner.guardrail_stats()
     }
 }
 
@@ -797,6 +909,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         assert_eq!(view.pairs(), vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
     }
@@ -810,6 +923,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         assert!(LinuxLike.decide(&view).is_none());
     }
@@ -902,6 +1016,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let out = RandomPairing::new(3).decide(&view).unwrap();
         assert_eq!(out.len(), 5);
@@ -928,6 +1043,7 @@ mod tests {
             placement: &segregated,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let out = policy.decide(&view).expect("all 7 apps measurable");
         assert_eq!(out.len(), 7);
@@ -953,6 +1069,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let _ = policy.decide(&view);
         assert!(
@@ -972,6 +1089,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let a = RandomPairing::new(7).decide(&view).unwrap();
         let b = RandomPairing::new(7).decide(&view).unwrap();
@@ -1004,6 +1122,7 @@ mod tests {
             placement: &segregated,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let decision = policy.decide(&view).expect("all apps sampled");
         let _ = &placement;
@@ -1033,6 +1152,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         assert!(policy.decide(&view).is_none());
     }
@@ -1047,6 +1167,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let first = policy.decide(&view).expect("applies at quantum 0");
         let core =
@@ -1074,11 +1195,145 @@ mod tests {
             placement: &segregated,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let decision = policy.decide(&view).expect("decides");
         let mut slots: Vec<usize> = decision.iter().map(|&(_, s)| s.0).collect();
         slots.sort_unstable();
         assert_eq!(slots, (0..8).collect::<Vec<_>>());
+    }
+
+    /// Degraded rows must not move ST estimates: a held/clamped sample
+    /// re-uses the previous estimate instead of absorbing garbage.
+    #[test]
+    fn degraded_samples_never_update_estimates() {
+        let placement = placement8();
+        let samples: Vec<(usize, PmuDelta)> = (0..8)
+            .map(|a| {
+                if a < 4 {
+                    (a, delta(50, 700))
+                } else {
+                    (a, delta(500, 100))
+                }
+            })
+            .collect();
+        let mut policy = Synpa::new(model());
+        let clean = QuantumView {
+            quantum: 0,
+            samples: &samples,
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+            degraded: &[],
+        };
+        let _ = policy.decide(&clean);
+        let before = *policy.st_estimate(0).expect("estimated from quantum 0");
+        // Same placement, wildly different (faulty) measurement for app 0,
+        // but the row is flagged degraded: the estimate must not budge.
+        let mut faulty_samples = samples.clone();
+        faulty_samples[0].1 = delta(900, 50);
+        let faulty = QuantumView {
+            quantum: 1,
+            samples: &faulty_samples,
+            placement: &placement,
+            smt_ways: 2,
+            dispatch_width: 4,
+            degraded: &[0],
+        };
+        let _ = policy.decide(&faulty);
+        assert_eq!(
+            *policy.st_estimate(0).unwrap(),
+            before,
+            "degraded app 0 keeps its previous ST estimate"
+        );
+        // Its co-runner (app 4, same core) was measured against app 0's
+        // faulty quantum, so it must not absorb either.
+        let before4 = *policy.st_estimate(4).unwrap();
+        let _ = policy.decide(&faulty);
+        assert_eq!(*policy.st_estimate(4).unwrap(), before4);
+    }
+
+    /// K consecutive severely-degraded quanta enter fallback (decide
+    /// always holds); R consecutive clean quanta recover, with the streak
+    /// counters giving hysteresis (a single clean quantum mid-storm does
+    /// not recover).
+    #[test]
+    fn fallback_enters_after_k_and_recovers_after_r_clean() {
+        let samples: Vec<(usize, PmuDelta)> = (0..8)
+            .map(|a| {
+                if a < 4 {
+                    (a, delta(50, 700))
+                } else {
+                    (a, delta(500, 100))
+                }
+            })
+            .collect();
+        let segregated: Vec<(usize, Slot)> = (0..8usize).map(|a| (a, Slot(a))).collect();
+        let mut policy = Synpa::new(model()).without_damping();
+        policy.fallback_after = 3;
+        policy.recover_after = 2;
+        let degraded_ids: Vec<usize> = (0..4).collect(); // half the rows
+                                                         // Prime estimates with one clean quantum on the segregated layout.
+        let clean = QuantumView {
+            quantum: 0,
+            samples: &samples,
+            placement: &segregated,
+            smt_ways: 2,
+            dispatch_width: 4,
+            degraded: &[],
+        };
+        assert!(policy.decide(&clean).is_some(), "healthy policy decides");
+        assert!(!policy.in_fallback());
+        // Three severely-degraded quanta in a row: enters fallback on the
+        // third.
+        for q in 1..=3 {
+            let v = QuantumView {
+                quantum: q,
+                samples: &samples,
+                placement: &segregated,
+                smt_ways: 2,
+                dispatch_width: 4,
+                degraded: &degraded_ids,
+            };
+            let d = policy.decide(&v);
+            if q < 3 {
+                assert!(!policy.in_fallback(), "quantum {q}: not yet");
+            } else {
+                assert!(policy.in_fallback(), "K=3 reached");
+                assert!(d.is_none(), "fallback holds the pairing");
+            }
+        }
+        // One clean quantum is not enough to recover (R=2)...
+        let v1 = QuantumView {
+            quantum: 4,
+            samples: &samples,
+            placement: &segregated,
+            smt_ways: 2,
+            dispatch_width: 4,
+            degraded: &[],
+        };
+        assert!(policy.decide(&v1).is_none());
+        assert!(policy.in_fallback(), "one clean quantum: still in fallback");
+        // ...the second clean quantum recovers, and the next decision acts.
+        let v2 = QuantumView {
+            quantum: 5,
+            samples: &samples,
+            placement: &segregated,
+            smt_ways: 2,
+            dispatch_width: 4,
+            degraded: &[],
+        };
+        let _ = policy.decide(&v2);
+        assert!(!policy.in_fallback(), "R=2 clean quanta recover");
+        let stats = policy.guardrail_stats().unwrap();
+        assert_eq!(stats.fallback_entries, 1);
+        assert!(stats.fallback_quanta >= 2, "q3..q5 spent in fallback");
+    }
+
+    #[test]
+    fn baselines_report_no_guardrail_stats() {
+        assert!(LinuxLike.guardrail_stats().is_none());
+        assert!(RandomPairing::new(1).guardrail_stats().is_none());
     }
 
     #[test]
@@ -1109,6 +1364,7 @@ mod tests {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let decision = policy.decide(&view).unwrap();
         for core in 0..4 {

@@ -32,11 +32,14 @@
 //! admission), queue depth and occupancy over time, and the shed count
 //! under overload. See `docs/service.md` for the full rules.
 
-use crate::manager::{decide_and_apply, first_free_slot, log_quantum, ManagerConfig, QuantumRow};
+use crate::manager::{
+    decide_and_apply, degraded_stats, first_free_slot, log_quantum, sample_sanitized,
+    DegradedStats, ManagerConfig, QuantumRow,
+};
 use crate::policy::Policy;
 use std::collections::VecDeque;
 use synpa_apps::AppProfile;
-use synpa_counters::SamplingSession;
+use synpa_counters::{FaultInjector, SanitizingSession};
 use synpa_sim::{Chip, ThreadProgram};
 
 /// Open-system service configuration.
@@ -127,6 +130,9 @@ pub struct ServiceResult {
     /// counts), if the policy drives a pairing matcher. The open system is
     /// the matcher's hardest regime: every detach/admission is churn.
     pub matcher: Option<synpa_matching::MatcherStats>,
+    /// Sample-health and fault accounting (same schema as the closed
+    /// batch). All-zero on a healthy source without fault injection.
+    pub degraded: DegradedStats,
 }
 
 impl ServiceResult {
@@ -176,7 +182,9 @@ pub fn run_service(
     let width = cfg.manager.chip.core.dispatch_width;
 
     let mut chip = Chip::new(cfg.manager.chip.clone());
-    let mut session = SamplingSession::new();
+    let mut session = SanitizingSession::new().with_cycle_bound(quantum_cycles);
+    let mut injector = cfg.manager.faults.as_ref().map(FaultInjector::new);
+    let mut quanta_degraded = 0u64;
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut next_arrival = 0usize;
     let mut admitted_at: Vec<u64> = vec![0; n];
@@ -264,13 +272,24 @@ pub fn run_service(
         let placement = chip.placement();
         if !placement.is_empty() {
             let ids: Vec<usize> = placement.iter().map(|&(a, _)| a).collect();
-            let samples = session.sample(&chip, &ids);
-            log_quantum(&mut trace, quantum, &samples, &placement, smt, width);
+            let sanitized = sample_sanitized(&mut session, injector.as_mut(), &chip, &ids, quantum);
+            if !sanitized.is_clean() {
+                quanta_degraded += 1;
+            }
+            log_quantum(
+                &mut trace,
+                quantum,
+                &sanitized.samples,
+                &placement,
+                smt,
+                width,
+            );
             decide_and_apply(
                 &mut chip,
                 policy,
                 quantum,
-                &samples,
+                &sanitized.samples,
+                &sanitized.degraded,
                 &placement,
                 &mut migrations,
             );
@@ -290,6 +309,7 @@ pub fn run_service(
         migrations,
         drained,
         matcher: policy.matcher_stats(),
+        degraded: degraded_stats(&session, injector.as_ref(), quanta_degraded, policy),
     }
 }
 
@@ -313,6 +333,7 @@ mod tests {
                 chip: ChipConfig::thunderx2(2), // 2 cores / 4 slots
                 quantum_cycles: 10_000,
                 max_quanta: 3_000,
+                faults: None,
             },
             queue_capacity: 8,
         }
@@ -407,6 +428,7 @@ mod tests {
                 chip: ChipConfig::thunderx2(2),
                 quantum_cycles: 10_000,
                 max_quanta: 10,
+                faults: None,
             },
             queue_capacity: 8,
         };

@@ -108,6 +108,7 @@ fn hoisted_cooldown_gate_preserves_every_decision() {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let decision = policy.decide(&view);
         use std::fmt::Write as _;

@@ -87,6 +87,7 @@ fn incremental_matcher_reproduces_fresh_decisions_under_churn() {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let df = fresh.decide(&view);
         let di = incremental.decide(&view);

@@ -20,6 +20,7 @@ fn cfg() -> ServiceConfig {
             chip: ChipConfig::thunderx2(4), // 4 cores / 8 slots
             quantum_cycles: 10_000,
             max_quanta: 3_000,
+            faults: None,
         },
         queue_capacity: 8,
     }

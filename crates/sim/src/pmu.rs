@@ -102,31 +102,65 @@ impl PmuCounters {
         }
     }
 
-    /// Difference `self - earlier`, event-wise. Panics in debug builds if
-    /// counters went backwards (they are monotonic by construction).
+    /// Difference `self - earlier`, event-wise, saturating at zero per
+    /// field. The simulator's counters are monotonic by construction, but
+    /// real PMUs (and the fault injector that models them) can hand back
+    /// non-monotonic snapshots — wraps, multiplexing resets, stale reads.
+    /// A backwards field yields a zero delta instead of a debug panic or a
+    /// release-mode wrap to ~2^64; callers that care can compare snapshots
+    /// with [`PmuCounters::is_monotonic_since`] and flag the sample.
     pub fn delta_since(&self, earlier: &PmuCounters) -> PmuDelta {
-        debug_assert!(self.cpu_cycles >= earlier.cpu_cycles);
         PmuDelta {
-            cpu_cycles: self.cpu_cycles - earlier.cpu_cycles,
-            inst_spec: self.inst_spec - earlier.inst_spec,
-            stall_frontend: self.stall_frontend - earlier.stall_frontend,
-            stall_backend: self.stall_backend - earlier.stall_backend,
-            inst_retired: self.inst_retired - earlier.inst_retired,
+            cpu_cycles: self.cpu_cycles.saturating_sub(earlier.cpu_cycles),
+            inst_spec: self.inst_spec.saturating_sub(earlier.inst_spec),
+            stall_frontend: self.stall_frontend.saturating_sub(earlier.stall_frontend),
+            stall_backend: self.stall_backend.saturating_sub(earlier.stall_backend),
+            inst_retired: self.inst_retired.saturating_sub(earlier.inst_retired),
             ext: ExtCounters {
-                stall_rob_full: self.ext.stall_rob_full - earlier.ext.stall_rob_full,
-                stall_iq_full: self.ext.stall_iq_full - earlier.ext.stall_iq_full,
-                stall_lsq_full: self.ext.stall_lsq_full - earlier.ext.stall_lsq_full,
-                stall_dcache: self.ext.stall_dcache - earlier.ext.stall_dcache,
-                stall_exec: self.ext.stall_exec - earlier.ext.stall_exec,
-                stall_width: self.ext.stall_width - earlier.ext.stall_width,
-                stall_branch: self.ext.stall_branch - earlier.ext.stall_branch,
-                stall_icache: self.ext.stall_icache - earlier.ext.stall_icache,
-                l1d_access: self.ext.l1d_access - earlier.ext.l1d_access,
-                l1d_miss: self.ext.l1d_miss - earlier.ext.l1d_miss,
-                l1i_access: self.ext.l1i_access - earlier.ext.l1i_access,
-                l1i_miss: self.ext.l1i_miss - earlier.ext.l1i_miss,
+                stall_rob_full: self
+                    .ext
+                    .stall_rob_full
+                    .saturating_sub(earlier.ext.stall_rob_full),
+                stall_iq_full: self
+                    .ext
+                    .stall_iq_full
+                    .saturating_sub(earlier.ext.stall_iq_full),
+                stall_lsq_full: self
+                    .ext
+                    .stall_lsq_full
+                    .saturating_sub(earlier.ext.stall_lsq_full),
+                stall_dcache: self
+                    .ext
+                    .stall_dcache
+                    .saturating_sub(earlier.ext.stall_dcache),
+                stall_exec: self.ext.stall_exec.saturating_sub(earlier.ext.stall_exec),
+                stall_width: self.ext.stall_width.saturating_sub(earlier.ext.stall_width),
+                stall_branch: self
+                    .ext
+                    .stall_branch
+                    .saturating_sub(earlier.ext.stall_branch),
+                stall_icache: self
+                    .ext
+                    .stall_icache
+                    .saturating_sub(earlier.ext.stall_icache),
+                l1d_access: self.ext.l1d_access.saturating_sub(earlier.ext.l1d_access),
+                l1d_miss: self.ext.l1d_miss.saturating_sub(earlier.ext.l1d_miss),
+                l1i_access: self.ext.l1i_access.saturating_sub(earlier.ext.l1i_access),
+                l1i_miss: self.ext.l1i_miss.saturating_sub(earlier.ext.l1i_miss),
             },
         }
+    }
+
+    /// True when every architectural event (plus retired instructions)
+    /// advanced monotonically from `earlier` to `self`. A healthy counter
+    /// source always satisfies this; a `false` result means
+    /// [`PmuCounters::delta_since`] saturated at least one field.
+    pub fn is_monotonic_since(&self, earlier: &PmuCounters) -> bool {
+        self.cpu_cycles >= earlier.cpu_cycles
+            && self.inst_spec >= earlier.inst_spec
+            && self.stall_frontend >= earlier.stall_frontend
+            && self.stall_backend >= earlier.stall_backend
+            && self.inst_retired >= earlier.inst_retired
     }
 }
 
@@ -199,5 +233,41 @@ mod tests {
     #[test]
     fn all_lists_four_events() {
         assert_eq!(Event::ALL.len(), 4);
+    }
+
+    /// Regression: a non-monotonic snapshot (rollback — real PMUs wrap,
+    /// multiplex and reset) used to debug-panic / release-wrap to ~2^64.
+    /// Every field must saturate at zero independently.
+    #[test]
+    fn delta_saturates_on_non_monotonic_snapshots() {
+        let before = PmuCounters {
+            cpu_cycles: 1000,
+            inst_spec: 800,
+            stall_frontend: 50,
+            stall_backend: 90,
+            inst_retired: 700,
+            ext: ExtCounters {
+                stall_rob_full: 40,
+                ..Default::default()
+            },
+        };
+        // cpu_cycles rolled back; inst_spec kept advancing.
+        let after = PmuCounters {
+            cpu_cycles: 400,
+            inst_spec: 900,
+            stall_frontend: 10,
+            stall_backend: 95,
+            inst_retired: 650,
+            ext: ExtCounters::default(),
+        };
+        let d = after.delta_since(&before);
+        assert_eq!(d.cpu_cycles, 0, "rolled-back field saturates");
+        assert_eq!(d.inst_spec, 100, "advancing field still measures");
+        assert_eq!(d.stall_frontend, 0);
+        assert_eq!(d.stall_backend, 5);
+        assert_eq!(d.inst_retired, 0);
+        assert_eq!(d.ext.stall_rob_full, 0, "ext fields saturate too");
+        assert!(!after.is_monotonic_since(&before));
+        assert!(before.is_monotonic_since(&PmuCounters::default()));
     }
 }

@@ -21,7 +21,7 @@
 //!
 //! // Train the model on a subset of applications (paper §IV-C).
 //! let apps: Vec<_> = synpa::apps::spec::catalog().into_iter().take(8).collect();
-//! let report = synpa::model::training::train(&apps, &Default::default(), 4);
+//! let report = synpa::model::training::train(&apps, &Default::default(), 4).unwrap();
 //!
 //! // Run a workload under SYNPA and under the Linux-like baseline.
 //! let cfg = ExperimentConfig::default();
@@ -47,14 +47,15 @@ pub use synpa_sim as sim;
 pub mod prelude {
     pub use synpa_apps::workload::{bursty_trace, poisson_trace, ArrivalTrace};
     pub use synpa_apps::{spec, workload, AppProfile, Fractions, Group, Workload};
+    pub use synpa_counters::{FaultConfig, FaultKind, FaultRates, SampleStatus, SanitizingSession};
     pub use synpa_matching::min_cost_pairing;
     pub use synpa_metrics::{fairness, geomean, tt_speedup, workload_ipc};
     pub use synpa_model::training::{train, TrainingConfig};
     pub use synpa_model::{Categories, SynpaModel};
     pub use synpa_sched::{
         prepare_workload, run_cell, run_service, run_workload, run_workload_with_arrivals,
-        ExperimentConfig, LinuxLike, ManagerConfig, OracleSynpa, Policy, RandomPairing, ServiceApp,
-        ServiceConfig, ServiceResult, Synpa,
+        DegradedStats, ExperimentConfig, GuardrailStats, LinuxLike, ManagerConfig, OracleSynpa,
+        Policy, RandomPairing, ServiceApp, ServiceConfig, ServiceResult, Synpa,
     };
     pub use synpa_sim::{Chip, ChipConfig, EngineKind, PmuCounters, Slot};
 }

@@ -80,7 +80,9 @@ fn main() {
     training.push(gc_language_app());
     training.push(graph_app());
     println!("training on {} apps (incl. 2 custom)...", training.len());
-    let model = train(&training, &TrainingConfig::default(), 8).model;
+    let model = train(&training, &TrainingConfig::default(), 8)
+        .expect("catalog fits")
+        .model;
 
     // A custom workload mixing catalog and custom applications. Note the
     // runner works from app *models*, so custom apps slot in like any other.

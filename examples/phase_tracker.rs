@@ -77,7 +77,9 @@ fn main() {
         .filter(|(i, _)| i % 14 != 6 && i % 14 != 13)
         .map(|(_, a)| a.clone())
         .collect();
-    let model = train(&training, &TrainingConfig::default(), 8).model;
+    let model = train(&training, &TrainingConfig::default(), 8)
+        .expect("catalog fits")
+        .model;
 
     let cfg = ExperimentConfig {
         reps: 1,

@@ -20,7 +20,7 @@ fn main() {
         .filter(|(i, _)| i % 14 != 6 && i % 14 != 13) // hold out ~20 %
         .map(|(_, a)| a.clone())
         .collect();
-    let report = train(&training_apps, &TrainingConfig::default(), 8);
+    let report = train(&training_apps, &TrainingConfig::default(), 8).expect("catalog fits");
     println!("Table IV analogue (alpha, beta, gamma, rho):");
     for (name, c) in [
         ("full-dispatch", report.model.full_dispatch),

@@ -15,7 +15,9 @@ fn quick_model() -> SynpaModel {
         smt_quanta: 8,
         ..Default::default()
     };
-    synpa::model::training::train(&apps, &cfg, 8).model
+    synpa::model::training::train(&apps, &cfg, 8)
+        .expect("catalog fits")
+        .model
 }
 
 fn quick_cfg() -> ExperimentConfig {

@@ -97,6 +97,7 @@ proptest! {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         if let Some(decision) = policy.decide(&view) {
             assert_valid_placement(&decision, 8);
@@ -120,6 +121,7 @@ proptest! {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let mut random = RandomPairing::new(seed);
         let decision = random.decide(&view).unwrap();
@@ -148,6 +150,7 @@ proptest! {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         let decision = policy.decide(&view).unwrap();
         assert_valid_placement(&decision, 8);
@@ -183,6 +186,7 @@ proptest! {
             placement: &placement,
             smt_ways: 2,
             dispatch_width: 4,
+            degraded: &[],
         };
         if let Some(decision) = policy.decide(&view) {
             // Recover ST estimates the same way the policy did and compare

@@ -31,6 +31,7 @@ fn service_cfg(engine: EngineKind, workers: Option<usize>, queue_capacity: usize
             chip,
             quantum_cycles: 10_000,
             max_quanta: 3_000,
+            faults: None,
         },
         queue_capacity,
     }
