@@ -37,6 +37,8 @@ fn quantum_decision(c: &mut Criterion) {
                 smt_ways: 2,
                 dispatch_width: 4,
                 degraded: &[],
+                availability: &[],
+                evacuated: 0,
             };
             black_box(policy.decide(&view))
         })
@@ -50,6 +52,8 @@ fn quantum_decision(c: &mut Criterion) {
                 smt_ways: 2,
                 dispatch_width: 4,
                 degraded: &[],
+                availability: &[],
+                evacuated: 0,
             };
             black_box(LinuxLike.decide(&view))
         })

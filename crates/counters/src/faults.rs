@@ -62,6 +62,24 @@ impl FaultKind {
             FaultKind::Spike => "spike",
         }
     }
+
+    /// Parses a kind name as accepted by the `--faults seed:rate:kind`
+    /// filter. Strict: an unknown name errors with the full valid list —
+    /// a typo must never silently fall back to the uniform mix.
+    pub fn parse(name: &str) -> Result<Self, String> {
+        FaultKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.name() == name)
+            .ok_or_else(|| {
+                let valid = FaultKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                format!("unknown fault kind '{name}' (valid: {valid})")
+            })
+    }
 }
 
 impl std::fmt::Display for FaultKind {
@@ -97,6 +115,22 @@ impl FaultRates {
     /// to running without an injector).
     pub fn none() -> Self {
         Self::uniform(0.0)
+    }
+
+    /// All of `total` concentrated on one kind (the `--faults
+    /// seed:rate:kind` filter): isolates a single failure mode for
+    /// targeted chaos runs.
+    pub fn only(kind: FaultKind, total: f64) -> Self {
+        let mut rates = Self::none();
+        match kind {
+            FaultKind::Drop => rates.drop_read = total,
+            FaultKind::Freeze => rates.freeze = total,
+            FaultKind::Stale => rates.stale = total,
+            FaultKind::Rollback => rates.rollback = total,
+            FaultKind::Zero => rates.zero = total,
+            FaultKind::Spike => rates.spike = total,
+        }
+        rates
     }
 
     /// Splits a total per-read fault probability evenly across all kinds.
@@ -149,17 +183,24 @@ impl FaultConfig {
         }
     }
 
-    /// Parses the `--faults seed:rate` CLI spec shared by the experiment
-    /// binaries: a decimal seed, a colon, and a total fault rate in
-    /// `[0, 1]` split uniformly across kinds.
+    /// Parses the `--faults seed:rate[:kind]` CLI spec shared by the
+    /// experiment binaries: a decimal seed, a colon, and a total fault
+    /// rate in `[0, 1]` — split uniformly across kinds, unless a third
+    /// `:kind` component (e.g. `7:0.05:spike`) concentrates the whole
+    /// rate on one [`FaultKind`]. Unknown kind names error with the valid
+    /// list; they never fall back to the uniform mix.
     pub fn parse(spec: &str) -> Result<Self, String> {
-        let (seed, rate) = spec
+        let (seed, rest) = spec
             .split_once(':')
             .ok_or_else(|| format!("--faults expects seed:rate, got '{spec}'"))?;
         let seed: u64 = seed
             .trim()
             .parse()
             .map_err(|_| format!("--faults seed '{seed}' is not a u64"))?;
+        let (rate, kind) = match rest.split_once(':') {
+            Some((rate, kind)) => (rate, Some(kind.trim())),
+            None => (rest, None),
+        };
         let rate: f64 = rate
             .trim()
             .parse()
@@ -167,7 +208,16 @@ impl FaultConfig {
         if !(0.0..=1.0).contains(&rate) {
             return Err(format!("--faults rate {rate} must be within [0, 1]"));
         }
-        Ok(Self::uniform(seed, rate))
+        match kind {
+            Some(name) => {
+                let kind = FaultKind::parse(name).map_err(|e| format!("--faults: {e}"))?;
+                Ok(Self {
+                    seed,
+                    rates: FaultRates::only(kind, rate),
+                })
+            }
+            None => Ok(Self::uniform(seed, rate)),
+        }
     }
 }
 
@@ -548,5 +598,47 @@ mod tests {
         assert!(FaultConfig::parse("x:0.1").is_err());
         assert!(FaultConfig::parse("1:1.5").is_err());
         assert!(FaultConfig::parse("1:-0.1").is_err());
+    }
+
+    #[test]
+    fn parse_accepts_optional_kind_filter() {
+        // `seed:rate:kind` concentrates the whole rate on one kind.
+        let cfg = FaultConfig::parse("7:0.05:spike").unwrap();
+        assert_eq!(cfg.seed, 7);
+        assert!((cfg.rates.spike - 0.05).abs() < 1e-12);
+        assert!((cfg.rates.total() - 0.05).abs() < 1e-12);
+        for kind in FaultKind::ALL {
+            if kind != FaultKind::Spike {
+                assert_eq!(cfg.rates.of(kind), 0.0, "kind {kind} must stay 0");
+            }
+        }
+        // Every kind name round-trips through the filter.
+        for kind in FaultKind::ALL {
+            let cfg = FaultConfig::parse(&format!("1:0.2:{kind}")).unwrap();
+            assert!((cfg.rates.of(kind) - 0.2).abs() < 1e-12);
+            assert!((cfg.rates.total() - 0.2).abs() < 1e-12);
+        }
+        // Whitespace around the kind is tolerated (matches seed/rate).
+        assert!(FaultConfig::parse("1:0.1: freeze ").is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_kind_strictly() {
+        let err = FaultConfig::parse("7:0.05:sike").unwrap_err();
+        assert!(err.contains("unknown fault kind 'sike'"), "got: {err}");
+        for name in ["drop", "freeze", "stale", "rollback", "zero", "spike"] {
+            assert!(err.contains(name), "error must list '{name}': {err}");
+        }
+        // The rate is still validated before the kind is consulted.
+        assert!(FaultConfig::parse("7:1.5:spike").is_err());
+        // An empty kind component is an error, not the uniform fallback.
+        assert!(FaultConfig::parse("7:0.05:").is_err());
+    }
+
+    #[test]
+    fn only_rates_match_kind_parse() {
+        let rates = FaultRates::only(FaultKind::parse("rollback").unwrap(), 0.3);
+        assert!((rates.rollback - 0.3).abs() < 1e-12);
+        assert!((rates.total() - 0.3).abs() < 1e-12);
     }
 }

@@ -37,10 +37,20 @@ use synpa_experiments::{canned_model, threads, trained_model};
 fn usage(reason: &str) -> ! {
     eprintln!("error: {reason}");
     eprintln!(
-        "usage: open_system [--smoke] [--arrivals N] \
-         [--engine reference|batched|percore|burst|parallel] [--faults seed:rate]"
+        "usage: open_system [--smoke] [--arrivals N] [--queue-capacity N] \
+         [--engine reference|batched|percore|burst|parallel] [--faults seed:rate[:kind]] \
+         [--chip-faults seed:rate]"
     );
     std::process::exit(2)
+}
+
+/// Table rendering of a percentile: the observation itself, or `-` when
+/// the sample is empty (a heavily faulted row can censor or fail every
+/// arrival — that must read as "no data", not a zero-cycle latency).
+/// Right-aligned strings pad exactly like the integers they replace, so
+/// healthy tables stay byte-identical.
+fn pct(sample: &[u64], p: f64) -> String {
+    percentile(sample, p).map_or_else(|| "-".into(), |v| v.to_string())
 }
 
 struct TraceRow {
@@ -56,6 +66,8 @@ fn main() {
     let mut n_arrivals: Option<usize> = None;
     let mut engine: Option<EngineKind> = None;
     let mut faults: Option<FaultConfig> = None;
+    let mut chip_faults: Option<ChipFaultConfig> = None;
+    let mut queue_capacity: Option<usize> = None;
     let mut it = raw.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -72,12 +84,33 @@ fn main() {
                     .unwrap_or_else(|| usage("--faults needs seed:rate"));
                 faults = Some(FaultConfig::parse(v).unwrap_or_else(|e| usage(&e)));
             }
+            // Seeded execution-fault injection: offline/transient/throttled
+            // cores plus crashing and hung apps, driven by a pure plan so
+            // the faulted table is byte-replayable from the seed (CI
+            // byte-diffs a fixed seed:rate across engines and thread
+            // counts, and checks seed:0 is the healthy table).
+            "--chip-faults" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| usage("--chip-faults needs seed:rate"));
+                chip_faults = Some(ChipFaultConfig::parse(v).unwrap_or_else(|e| usage(&e)));
+            }
             "--arrivals" => {
                 n_arrivals = Some(
                     it.next()
                         .and_then(|v| v.parse::<usize>().ok())
                         .filter(|&n| n >= 1)
                         .unwrap_or_else(|| usage("--arrivals needs a positive count")),
+                )
+            }
+            // Overrides the documented default bound (one slot per hardware
+            // thread). 0 is legal and means no queueing at all: arrivals
+            // that cannot attach at the next boundary are shed.
+            "--queue-capacity" => {
+                queue_capacity = Some(
+                    it.next()
+                        .and_then(|v| v.parse::<usize>().ok())
+                        .unwrap_or_else(|| usage("--queue-capacity needs a non-negative count")),
                 )
             }
             other => usage(&format!("unknown argument '{other}'")),
@@ -96,6 +129,7 @@ fn main() {
             quantum_cycles: if smoke { 5_000 } else { 10_000 },
             max_quanta: if smoke { 2_000 } else { 10_000 },
             faults,
+            chip_faults,
         },
         target_window,
         calibration_warmup: if smoke { 10_000 } else { 40_000 },
@@ -106,7 +140,8 @@ fn main() {
         // One documented bound for the whole sweep: small enough that the
         // overload and storm rows actually shed, large enough that light load never
         // does (drop-newest; see docs/service.md).
-        queue_capacity: slots,
+        queue_capacity: queue_capacity.unwrap_or(slots),
+        ..ServiceConfig::default()
     };
 
     // Solo launch time ~= target_window cycles and an SMT2 pair retires
@@ -226,10 +261,10 @@ fn main() {
                 row.trace.len(),
                 r.completed.len(),
                 r.shed.len(),
-                percentile(&tt, 50.0),
-                percentile(&tt, 95.0),
-                percentile(&tt, 99.0),
-                percentile(&soj, 95.0),
+                pct(&tt, 50.0),
+                pct(&tt, 95.0),
+                pct(&tt, 99.0),
+                pct(&soj, 95.0),
                 r.peak_queue_depth(),
                 r.migrations,
                 r.drained,
@@ -238,6 +273,18 @@ fn main() {
             // byte-identical to pre-fault-injection runs.
             if faults.is_some() {
                 println!("{:<6} {:<8} faults: {}", "", "", r.degraded.summary());
+            }
+            // Same contract for execution faults: the line exists only
+            // under --chip-faults, so `--chip-faults seed:0` and the plain
+            // invocation print byte-identical tables (CI checks this).
+            if chip_faults.is_some() {
+                println!(
+                    "{:<6} {:<8} chip faults: {} ({} failed terminally)",
+                    "",
+                    "",
+                    r.chip_faults.summary(),
+                    r.failed.len(),
+                );
             }
         }
     }

@@ -60,6 +60,14 @@ pub struct SuiteCell {
     /// Faults injected in the exemplar repetition (0 unless the cell ran
     /// with fault injection enabled).
     pub faults_injected: u64,
+    /// Cores permanently offlined by execution-fault injection in the
+    /// exemplar repetition (0 on healthy sources). No serde default, same
+    /// rule as the other robustness counters: cells cached before
+    /// execution faults existed must be recomputed, not loaded with
+    /// fabricated zeros.
+    pub cores_offlined: u64,
+    /// Apps evacuated from failing cores in the exemplar repetition.
+    pub apps_evacuated: u64,
 }
 
 impl SuiteCell {
@@ -82,6 +90,8 @@ impl SuiteCell {
             matcher_cold: cell.exemplar.matcher.map_or(0, |m| m.cold_solves),
             degraded_quanta: cell.exemplar.degraded.quanta_degraded,
             faults_injected: cell.exemplar.degraded.injected_total(),
+            cores_offlined: cell.exemplar.chip_faults.cores_offlined,
+            apps_evacuated: cell.exemplar.chip_faults.apps_evacuated,
         }
     }
 }
@@ -657,6 +667,8 @@ mod tests {
             matcher_cold: 0,
             degraded_quanta: 0,
             faults_injected: 0,
+            cores_offlined: 0,
+            apps_evacuated: 0,
         };
         store_cell(&dir, "right", &cell);
         std::fs::rename(dir.join("right.json"), dir.join("wrong.json")).unwrap();

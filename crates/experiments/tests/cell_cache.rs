@@ -60,6 +60,8 @@ fn sentinel() -> SuiteCell {
         matcher_cold: 0,
         degraded_quanta: 0,
         faults_injected: 0,
+        cores_offlined: 0,
+        apps_evacuated: 0,
     }
 }
 

@@ -95,22 +95,24 @@ pub fn stp(individual_speedups: &[f64]) -> f64 {
 
 /// Nearest-rank percentile of an (unsorted) integer sample: the smallest
 /// element such that at least `p`% of the sample is ≤ it. `p` must be in
-/// `(0, 100]`; an empty sample yields 0. The open-system latency metric
-/// (p50/p95/p99 turnaround) — nearest-rank keeps the result an actual
-/// observation, so tables stay in whole cycles and byte-stable across
-/// platforms (no interpolation arithmetic).
-pub fn percentile(sample: &[u64], p: f64) -> u64 {
+/// `(0, 100]`; an empty sample has no percentile and yields `None` — a
+/// run where nothing completed must show "no data", not a fabricated
+/// zero-cycle latency. The open-system latency metric (p50/p95/p99
+/// turnaround) — nearest-rank keeps the result an actual observation, so
+/// tables stay in whole cycles and byte-stable across platforms (no
+/// interpolation arithmetic).
+pub fn percentile(sample: &[u64], p: f64) -> Option<u64> {
     assert!(
         p > 0.0 && p <= 100.0,
         "percentile must be in (0, 100], got {p}"
     );
     if sample.is_empty() {
-        return 0;
+        return None;
     }
     let mut sorted = sample.to_vec();
     sorted.sort_unstable();
     let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-    sorted[rank.clamp(1, sorted.len()) - 1]
+    Some(sorted[rank.clamp(1, sorted.len()) - 1])
 }
 
 #[cfg(test)]
@@ -159,14 +161,14 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let xs = [15, 20, 35, 40, 50];
-        assert_eq!(percentile(&xs, 30.0), 20); // classic nearest-rank example
-        assert_eq!(percentile(&xs, 40.0), 20);
-        assert_eq!(percentile(&xs, 50.0), 35);
-        assert_eq!(percentile(&xs, 100.0), 50);
-        assert_eq!(percentile(&[7], 99.0), 7);
-        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&xs, 30.0), Some(20)); // classic nearest-rank example
+        assert_eq!(percentile(&xs, 40.0), Some(20));
+        assert_eq!(percentile(&xs, 50.0), Some(35));
+        assert_eq!(percentile(&xs, 100.0), Some(50));
+        assert_eq!(percentile(&[7], 99.0), Some(7));
+        assert_eq!(percentile(&[], 50.0), None, "no sample, no percentile");
         // Order-free: the sample need not be sorted.
-        assert_eq!(percentile(&[50, 15, 40, 20, 35], 50.0), 35);
+        assert_eq!(percentile(&[50, 15, 40, 20, 35], 50.0), Some(35));
     }
 
     #[test]

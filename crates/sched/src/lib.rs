@@ -19,18 +19,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chipfaults;
 mod manager;
 mod policy;
 mod runner;
 mod service;
 
+pub use chipfaults::ChipFaultStats;
 pub use manager::{
     first_free_slot, run_workload, run_workload_with_arrivals, AppResult, DegradedStats,
     ManagerConfig, QuantumRow, RunResult,
 };
 pub use policy::{
-    pairs_to_slots, GreedySynpa, GuardrailStats, LinuxLike, MatcherKind, OracleSynpa, Policy,
-    QuantumView, RandomPairing, StaticPairs, Synpa,
+    pairs_to_slots, units_to_slots, GreedySynpa, GuardrailStats, LinuxLike, MatcherKind,
+    OracleSynpa, Policy, QuantumView, RandomPairing, StaticPairs, Synpa,
 };
 pub use runner::{
     cv, discard_outliers, parallel_map, prepare_workload, run_cell, CellOutcome, ExperimentConfig,

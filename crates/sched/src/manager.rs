@@ -9,11 +9,12 @@
 //! load stays constant; the workload is finished when the slowest
 //! application completes its first launch.
 
+use crate::chipfaults::{ChipFaultDriver, ChipFaultStats};
 use crate::policy::{Policy, QuantumView};
 use synpa_apps::AppProfile;
 use synpa_counters::{FaultConfig, FaultInjector, FaultKind, InjectedCounts, SanitizingSession};
 use synpa_model::Categories;
-use synpa_sim::{Chip, ChipConfig, Slot, ThreadProgram};
+use synpa_sim::{Chip, ChipConfig, ChipFaultConfig, Slot, ThreadProgram};
 
 /// One application's per-quantum log row.
 #[derive(Debug, Clone, Copy)]
@@ -104,6 +105,11 @@ pub struct RunResult {
     /// Sample-health and fault accounting for the run. All-zero (with
     /// `injected` all-zero) on a healthy source without fault injection.
     pub degraded: DegradedStats,
+    /// Execution-fault accounting: cores lost, apps evacuated. All-zero
+    /// without chip-fault injection. The closed batch only evacuates and
+    /// re-queues (no retry cap), so the crash/hang/retry/failed fields
+    /// stay zero here — they belong to the open-system service.
+    pub chip_faults: ChipFaultStats,
 }
 
 /// Fault-tolerance accounting for one run: what the sanitizer classified,
@@ -180,6 +186,11 @@ pub struct ManagerConfig {
     /// default — reads the chip directly and is byte-identical to the
     /// pre-fault-layer behaviour.
     pub faults: Option<FaultConfig>,
+    /// Seeded execution-fault injection: core offlining/outages/derating
+    /// plus app crash/hang plans (see `docs/robustness.md`). `None` — the
+    /// default — runs a healthy chip and is byte-identical to the
+    /// pre-chip-fault behaviour.
+    pub chip_faults: Option<ChipFaultConfig>,
 }
 
 impl Default for ManagerConfig {
@@ -189,6 +200,7 @@ impl Default for ManagerConfig {
             quantum_cycles: 10_000,
             max_quanta: 3_000,
             faults: None,
+            chip_faults: None,
         }
     }
 }
@@ -216,7 +228,8 @@ pub fn run_workload(
 /// *k*); mid-run it is the "place on an idle core first" behaviour of a
 /// load-balancing OS. `None` means the chip is full — the caller keeps the
 /// app pending until a slot frees (the admission primitive shared by the
-/// closed-batch manager and the open-system [`crate::service`]).
+/// closed-batch manager and the open-system [`crate::service`]). Cores out
+/// of service are skipped: a slot on an offlined core is not free capacity.
 pub fn first_free_slot(chip: &Chip) -> Option<Slot> {
     let smt = chip.config().core.smt_ways as usize;
     let cores = chip.config().cores as usize;
@@ -224,6 +237,9 @@ pub fn first_free_slot(chip: &Chip) -> Option<Slot> {
         chip.placement().iter().map(|&(_, s)| s.0).collect();
     for ctx in 0..smt {
         for core in 0..cores {
+            if !chip.core_available(core) {
+                continue;
+            }
             let slot = Slot(core * smt + ctx);
             if !occupied.contains(&slot.0) {
                 return Some(slot);
@@ -269,6 +285,7 @@ pub(crate) fn log_quantum(
 /// changes into `migrations` and applies the decision. The per-quantum
 /// decision step shared by [`run_workload_with_arrivals`] and the
 /// open-system [`crate::service`].
+#[allow(clippy::too_many_arguments)] // the args are the QuantumView fields
 pub(crate) fn decide_and_apply(
     chip: &mut Chip,
     policy: &mut dyn Policy,
@@ -276,6 +293,8 @@ pub(crate) fn decide_and_apply(
     samples: &[(usize, synpa_sim::PmuDelta)],
     degraded: &[usize],
     placement: &[(usize, Slot)],
+    availability: &[bool],
+    evacuated: usize,
     migrations: &mut u64,
 ) {
     let smt = chip.config().core.smt_ways as usize;
@@ -286,6 +305,8 @@ pub(crate) fn decide_and_apply(
         smt_ways: smt,
         dispatch_width: chip.config().core.dispatch_width,
         degraded,
+        availability,
+        evacuated,
     };
     if let Some(new_placement) = policy.decide(&view) {
         for &(app, new_slot) in &new_placement {
@@ -388,6 +409,14 @@ pub fn run_workload_with_arrivals(
 
     let mut session = SanitizingSession::new().with_cycle_bound(cfg.quantum_cycles);
     let mut injector = cfg.faults.as_ref().map(FaultInjector::new);
+    let mut chip_driver = cfg
+        .chip_faults
+        .as_ref()
+        .map(|fc| ChipFaultDriver::new(fc, cfg.chip.cores as usize));
+    // Apps stranded by a core outage, waiting to be re-placed. They keep
+    // their original arrival and attachment times; the instructions their
+    // lost thread had retired are censored, never credited back.
+    let mut evac_pending: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
     let mut trace = Vec::new();
     let mut tt: Vec<Option<u64>> = vec![None; n];
     let mut attached_at: Vec<Option<u64>> = vec![None; n];
@@ -396,6 +425,24 @@ pub fn run_workload_with_arrivals(
     let mut quanta_degraded = 0u64;
 
     while quantum < cfg.max_quanta && tt.iter().any(|t| t.is_none()) {
+        // Execution faults first: the fault plan may take cores out of
+        // service at this boundary, stranding their residents. Evacuees
+        // re-enter placement ahead of new arrivals (they are older).
+        let mut evacuated_now = 0usize;
+        if let Some(drv) = chip_driver.as_mut() {
+            for app in drv.apply(&mut chip, quantum) {
+                session.forget(app);
+                evac_pending.push_back(app);
+                evacuated_now += 1;
+            }
+        }
+        while let Some(&k) = evac_pending.front() {
+            let Some(slot) = first_free_slot(&chip) else {
+                break;
+            };
+            evac_pending.pop_front();
+            chip.attach(slot, k, Box::new(apps[k].clone()));
+        }
         // Attach every due app there is room for (at cycle 0 this is the
         // whole workload in the classic methodology). A due app that finds
         // the chip full stays pending; admission is strictly FIFO, so apps
@@ -440,6 +487,13 @@ pub fn run_workload_with_arrivals(
             smt,
             width,
         );
+        // An empty availability mask is the healthy fast path (policies
+        // treat it as all-available); only faulted runs pay for the mask.
+        let availability = if chip_driver.is_some() {
+            chip.availability()
+        } else {
+            Vec::new()
+        };
         decide_and_apply(
             &mut chip,
             policy,
@@ -447,6 +501,8 @@ pub fn run_workload_with_arrivals(
             &sanitized.samples,
             &sanitized.degraded,
             &placement,
+            &availability,
+            evacuated_now,
             &mut migrations,
         );
         quantum += 1;
@@ -497,6 +553,7 @@ pub fn run_workload_with_arrivals(
         migrations,
         matcher: policy.matcher_stats(),
         degraded: degraded_stats(&session, injector.as_ref(), quanta_degraded, policy),
+        chip_faults: chip_driver.map(|d| d.stats).unwrap_or_default(),
     }
 }
 
@@ -778,6 +835,53 @@ mod tests {
                 "measured, not fabricated from the target length"
             );
         }
+    }
+
+    /// Closed-batch runs survive core outages: evacuees are re-queued and
+    /// re-placed (restarting their launch — censored progress), cores come
+    /// and go, and the run either finishes or is honestly capped. No retry
+    /// budget here: the batch methodology relaunches forever anyway.
+    #[test]
+    fn core_faults_evacuate_and_requeue_without_panicking() {
+        let (apps, solo) = small_workload();
+        let cfg = ManagerConfig {
+            chip_faults: Some(synpa_sim::ChipFaultConfig::uniform(3, 1.0)),
+            max_quanta: 400,
+            ..Default::default()
+        };
+        let result = run_workload(&apps, &solo, &mut LinuxLike, &cfg);
+        let s = result.chip_faults;
+        assert!(
+            s.cores_offlined + s.cores_transient + s.cores_throttled > 0,
+            "a rate-1.0 plan must disturb the chip: {s:?}"
+        );
+        assert!(s.apps_evacuated > 0, "outages must strand residents: {s:?}");
+        assert_eq!(s.apps_crashed + s.apps_hung + s.retries + s.failed, 0);
+        // Honesty: completed apps have real turnarounds, incomplete ones
+        // are flagged — and the dispatch width bounds every reported IPC.
+        let width = cfg.chip.core.dispatch_width as f64;
+        for a in &result.per_app {
+            assert!(a.ipc <= width, "app {} ipc {} impossible", a.app, a.ipc);
+            if a.completed {
+                assert!(a.tt_cycles > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_chip_faults_match_no_chip_faults() {
+        let (apps, solo) = small_workload();
+        let plain = run_workload(&apps, &solo, &mut LinuxLike, &ManagerConfig::default());
+        let zero = run_workload(
+            &apps,
+            &solo,
+            &mut LinuxLike,
+            &ManagerConfig {
+                chip_faults: Some(synpa_sim::ChipFaultConfig::uniform(9, 0.0)),
+                ..Default::default()
+            },
+        );
+        assert_eq!(format!("{plain:?}"), format!("{zero:?}"));
     }
 
     #[test]

@@ -92,6 +92,16 @@ pub struct QuantumView<'a> {
     /// measurements; estimate-updating policies must not learn from them.
     /// Empty whenever every read was healthy — the fault-free case.
     pub degraded: &'a [usize],
+    /// Per-core availability mask (`true` = in service), indexed by core.
+    /// Empty means every core is available — the healthy fast path, and
+    /// what every pre-chip-fault caller passes. Policies must only emit
+    /// placements onto available cores.
+    pub availability: &'a [bool],
+    /// Apps evacuated from failing cores at this quantum boundary. Losing
+    /// capacity mid-run is severe for an estimate-driven policy (the
+    /// survivors' samples were shaped by the disruption), so this feeds
+    /// the same hysteretic guardrail machine as degraded samples.
+    pub evacuated: usize,
 }
 
 impl QuantumView<'_> {
@@ -191,7 +201,7 @@ pub fn pairs_to_slots(
     current: &[(usize, Slot)],
     smt_ways: usize,
 ) -> Vec<(usize, Slot)> {
-    units_to_slots(pairs, &[], current, smt_ways)
+    units_to_slots(pairs, &[], current, smt_ways, &[])
 }
 
 /// Assigns allocation units — SMT pairs plus unpaired singles — to cores,
@@ -200,11 +210,19 @@ pub fn pairs_to_slots(
 /// core and the other context stays empty, so odd placed-thread counts are
 /// first-class: this is the placement path every pairing policy shares
 /// once apps may arrive and leave freely.
+///
+/// `availability` is the per-core service mask (`true` = in service); an
+/// empty mask means every core is available, and the assignment is then
+/// byte-identical to the pre-mask behaviour. With a mask, units are placed
+/// onto the first `n_units` *available* cores (there are always enough:
+/// every currently placed app sits on an available core, and a core hosts
+/// at most one unit).
 pub fn units_to_slots(
     pairs: &[(usize, usize)],
     singles: &[usize],
     current: &[(usize, Slot)],
     smt_ways: usize,
+    availability: &[bool],
 ) -> Vec<(usize, Slot)> {
     let core_of = |app: usize| -> Option<usize> {
         current
@@ -213,6 +231,30 @@ pub fn units_to_slots(
             .map(|&(_, s)| s.core(smt_ways))
     };
     let n_units = pairs.len() + singles.len();
+    // Candidate cores in index order: with no mask the first `n_units`
+    // cores, otherwise the first `n_units` available ones.
+    let candidates: Vec<usize> = if availability.is_empty() {
+        (0..n_units).collect()
+    } else {
+        let avail: Vec<usize> = availability
+            .iter()
+            .enumerate()
+            .filter(|&(_, &up)| up)
+            .map(|(c, _)| c)
+            .take(n_units)
+            .collect();
+        assert!(
+            avail.len() == n_units,
+            "{n_units} allocation units need {n_units} available cores, have {}",
+            avail.len()
+        );
+        avail
+    };
+    let rank_of: std::collections::HashMap<usize, usize> = candidates
+        .iter()
+        .enumerate()
+        .map(|(rank, &c)| (c, rank))
+        .collect();
     let members = |i: usize| -> [Option<usize>; 2] {
         if i < pairs.len() {
             [Some(pairs[i].0), Some(pairs[i].1)]
@@ -226,24 +268,26 @@ pub fn units_to_slots(
     for (i, slot) in assignment.iter_mut().enumerate() {
         for app in members(i).into_iter().flatten() {
             if let Some(c) = core_of(app) {
-                if c < n_units && !taken[c] {
-                    taken[c] = true;
-                    *slot = Some(c);
-                    break;
+                if let Some(&rank) = rank_of.get(&c) {
+                    if !taken[rank] {
+                        taken[rank] = true;
+                        *slot = Some(rank);
+                        break;
+                    }
                 }
             }
         }
     }
-    // Second pass: everything else takes a free core.
-    let mut free = (0..n_units).filter(|&c| !taken[c]).collect::<Vec<_>>();
+    // Second pass: everything else takes a free candidate.
+    let mut free = (0..n_units).filter(|&r| !taken[r]).collect::<Vec<_>>();
     for slot in &mut assignment {
         if slot.is_none() {
-            *slot = Some(free.pop().expect("cores and units are 1:1"));
+            *slot = Some(free.pop().expect("candidates and units are 1:1"));
         }
     }
     (0..n_units)
         .flat_map(|i| {
-            let c = assignment[i].unwrap();
+            let c = candidates[assignment[i].unwrap()];
             match members(i) {
                 [Some(a), Some(b)] => {
                     vec![(a, Slot(c * smt_ways)), (b, Slot(c * smt_ways + 1))]
@@ -347,6 +391,7 @@ impl Policy for RandomPairing {
             singles,
             view.placement,
             view.smt_ways,
+            view.availability,
         ))
     }
 }
@@ -497,9 +542,12 @@ impl Synpa {
     /// empty every quantum) this never fires and never changes a decision.
     fn update_guardrails(&mut self, view: &QuantumView<'_>) -> bool {
         let placed = view.placement.len();
-        let severe = placed > 0 && view.degraded.len() * 2 >= placed;
+        // Capacity loss (evacuations off failing cores) counts as severe in
+        // its own right: the survivors' samples were shaped by the
+        // disruption, whatever their individual health.
+        let severe = (placed > 0 && view.degraded.len() * 2 >= placed) || view.evacuated > 0;
         self.degraded_streak = if severe { self.degraded_streak + 1 } else { 0 };
-        self.clean_streak = if placed > 0 && view.degraded.is_empty() {
+        self.clean_streak = if placed > 0 && view.degraded.is_empty() && view.evacuated == 0 {
             self.clean_streak + 1
         } else {
             0
@@ -688,6 +736,7 @@ impl Policy for Synpa {
             &singles,
             view.placement,
             view.smt_ways,
+            view.availability,
         ))
     }
 
@@ -734,7 +783,13 @@ impl Policy for StaticPairs {
             return None;
         }
         self.applied = true;
-        Some(pairs_to_slots(&self.pairs, view.placement, view.smt_ways))
+        Some(units_to_slots(
+            &self.pairs,
+            &[],
+            view.placement,
+            view.smt_ways,
+            view.availability,
+        ))
     }
 }
 
@@ -789,6 +844,7 @@ impl Policy for GreedySynpa {
             &singles,
             view.placement,
             view.smt_ways,
+            view.availability,
         ))
     }
 
@@ -846,6 +902,7 @@ impl Policy for OracleSynpa {
             &singles,
             view.placement,
             view.smt_ways,
+            view.availability,
         ))
     }
 }
@@ -910,6 +967,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         assert_eq!(view.pairs(), vec![(0, 4), (1, 5), (2, 6), (3, 7)]);
     }
@@ -924,6 +983,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         assert!(LinuxLike.decide(&view).is_none());
     }
@@ -982,7 +1043,7 @@ mod tests {
         let placement = placement8();
         let pairs = vec![(0, 4), (1, 5), (2, 6)];
         let singles = vec![3, 7];
-        let out = units_to_slots(&pairs, &singles, &placement, 2);
+        let out = units_to_slots(&pairs, &singles, &placement, 2, &[]);
         assert_eq!(out.len(), 8);
         assert_valid_odd_placement(&out, (0..8).collect());
         let core = |x: usize| out.iter().find(|&&(a, _)| a == x).unwrap().1.core(2);
@@ -1002,8 +1063,54 @@ mod tests {
         let pairs = vec![(0, 1), (2, 3), (4, 5), (6, 7)];
         assert_eq!(
             pairs_to_slots(&pairs, &placement, 2),
-            units_to_slots(&pairs, &[], &placement, 2)
+            units_to_slots(&pairs, &[], &placement, 2, &[])
         );
+    }
+
+    #[test]
+    fn units_to_slots_all_available_mask_is_identical_to_no_mask() {
+        let placement = placement8();
+        let pairs = vec![(0, 4), (1, 5), (2, 6)];
+        let singles = vec![3];
+        assert_eq!(
+            units_to_slots(&pairs, &singles, &placement, 2, &[]),
+            units_to_slots(&pairs, &singles, &placement, 2, &[true; 4])
+        );
+    }
+
+    #[test]
+    fn units_to_slots_avoids_unavailable_cores() {
+        // 6 apps in 3 pairs on a 4-core chip with core 1 out of service:
+        // every emitted slot must land on cores {0, 2, 3}, and pairs that
+        // can stay put (cores 0, 2) do.
+        let placement: Vec<(usize, Slot)> = vec![
+            (0, Slot(0)),
+            (1, Slot(1)),
+            (2, Slot(4)),
+            (3, Slot(5)),
+            (4, Slot(6)),
+            (5, Slot(7)),
+        ];
+        let avail = [true, false, true, true];
+        let pairs = vec![(0, 1), (2, 3), (4, 5)];
+        let out = units_to_slots(&pairs, &[], &placement, 2, &avail);
+        assert_eq!(out.len(), 6);
+        for &(app, slot) in &out {
+            assert!(avail[slot.core(2)], "app {app} placed on offline core");
+        }
+        let core = |x: usize| out.iter().find(|&&(a, _)| a == x).unwrap().1.core(2);
+        assert_eq!(core(0), 0, "pair (0,1) stays on its core");
+        assert_eq!(core(2), 2, "pair (2,3) stays on its core");
+        assert_eq!(core(4), 3, "pair (4,5) takes the remaining core");
+    }
+
+    #[test]
+    #[should_panic(expected = "available cores")]
+    fn units_to_slots_panics_when_capacity_is_short() {
+        let placement = placement8();
+        let pairs = vec![(0, 4), (1, 5), (2, 6), (3, 7)];
+        // 4 units but only 3 available cores: impossible by construction.
+        units_to_slots(&pairs, &[], &placement, 2, &[true, true, true, false]);
     }
 
     #[test]
@@ -1017,6 +1124,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let out = RandomPairing::new(3).decide(&view).unwrap();
         assert_eq!(out.len(), 5);
@@ -1044,6 +1153,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let out = policy.decide(&view).expect("all 7 apps measurable");
         assert_eq!(out.len(), 7);
@@ -1070,6 +1181,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let _ = policy.decide(&view);
         assert!(
@@ -1090,6 +1203,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let a = RandomPairing::new(7).decide(&view).unwrap();
         let b = RandomPairing::new(7).decide(&view).unwrap();
@@ -1123,6 +1238,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let decision = policy.decide(&view).expect("all apps sampled");
         let _ = &placement;
@@ -1153,6 +1270,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         assert!(policy.decide(&view).is_none());
     }
@@ -1168,6 +1287,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let first = policy.decide(&view).expect("applies at quantum 0");
         let core =
@@ -1196,6 +1317,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let decision = policy.decide(&view).expect("decides");
         let mut slots: Vec<usize> = decision.iter().map(|&(_, s)| s.0).collect();
@@ -1225,6 +1348,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let _ = policy.decide(&clean);
         let before = *policy.st_estimate(0).expect("estimated from quantum 0");
@@ -1239,6 +1364,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[0],
+            availability: &[],
+            evacuated: 0,
         };
         let _ = policy.decide(&faulty);
         assert_eq!(
@@ -1281,6 +1408,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         assert!(policy.decide(&clean).is_some(), "healthy policy decides");
         assert!(!policy.in_fallback());
@@ -1294,6 +1423,8 @@ mod tests {
                 smt_ways: 2,
                 dispatch_width: 4,
                 degraded: &degraded_ids,
+                availability: &[],
+                evacuated: 0,
             };
             let d = policy.decide(&v);
             if q < 3 {
@@ -1311,6 +1442,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         assert!(policy.decide(&v1).is_none());
         assert!(policy.in_fallback(), "one clean quantum: still in fallback");
@@ -1322,6 +1455,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let _ = policy.decide(&v2);
         assert!(!policy.in_fallback(), "R=2 clean quanta recover");
@@ -1365,6 +1500,8 @@ mod tests {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let decision = policy.decide(&view).unwrap();
         for core in 0..4 {

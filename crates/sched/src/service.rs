@@ -32,6 +32,7 @@
 //! admission), queue depth and occupancy over time, and the shed count
 //! under overload. See `docs/service.md` for the full rules.
 
+use crate::chipfaults::{ChipFaultDriver, ChipFaultStats};
 use crate::manager::{
     decide_and_apply, degraded_stats, first_free_slot, log_quantum, sample_sanitized,
     DegradedStats, ManagerConfig, QuantumRow,
@@ -40,7 +41,7 @@ use crate::policy::Policy;
 use std::collections::VecDeque;
 use synpa_apps::AppProfile;
 use synpa_counters::{FaultInjector, SanitizingSession};
-use synpa_sim::{Chip, ThreadProgram};
+use synpa_sim::{AppFault, Chip, ThreadProgram};
 
 /// Open-system service configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +53,19 @@ pub struct ServiceConfig {
     /// already waiting is shed (drop-newest). Capacity 0 means no queueing
     /// at all: arrivals not immediately placeable are shed.
     pub queue_capacity: usize,
+    /// Watchdog horizon: an on-chip app that retires zero instructions for
+    /// this many consecutive quanta is declared hung and evicted. Catches
+    /// the planned `Hang` execution fault (and anything else that wedges)
+    /// without any privileged knowledge of the fault plan.
+    pub watchdog_quanta: u64,
+    /// Retry budget per app: an evicted app (core outage, crash, hang) is
+    /// re-queued at most this many times; the next eviction reports it
+    /// `failed`. Retries bypass the admission-capacity check — an admitted
+    /// app is never shed (the drop-newest rule holds at the door only).
+    pub max_retries: u32,
+    /// Quanta an evicted app waits before its retry re-enters the queue —
+    /// crash-looping apps must not hammer the admission path.
+    pub retry_backoff_quanta: u64,
 }
 
 impl Default for ServiceConfig {
@@ -59,6 +73,9 @@ impl Default for ServiceConfig {
         Self {
             manager: ManagerConfig::default(),
             queue_capacity: 64,
+            watchdog_quanta: 3,
+            max_retries: 2,
+            retry_backoff_quanta: 2,
         }
     }
 }
@@ -110,6 +127,12 @@ pub struct ServiceResult {
     pub completed: Vec<ServiceApp>,
     /// Trace indices shed by admission control (queue full on arrival).
     pub shed: Vec<usize>,
+    /// Trace indices that exhausted their retry budget (crash loop,
+    /// repeated hang, or repeated eviction off failing cores) — the
+    /// service's terminal failure outcome, in event order. Disjoint from
+    /// `completed` and `shed`; on a drained run the three partition the
+    /// trace exactly (release-asserted).
+    pub failed: Vec<usize>,
     /// Admission-queue depth at each quantum boundary, after admission.
     pub queue_depth: Vec<usize>,
     /// On-chip app count at each quantum boundary, after admission.
@@ -133,6 +156,10 @@ pub struct ServiceResult {
     /// Sample-health and fault accounting (same schema as the closed
     /// batch). All-zero on a healthy source without fault injection.
     pub degraded: DegradedStats,
+    /// Execution-fault accounting: cores lost, apps evacuated, crash/hang
+    /// events, retries granted and retry budgets exhausted. All-zero
+    /// without chip-fault injection.
+    pub chip_faults: ChipFaultStats,
 }
 
 impl ServiceResult {
@@ -184,18 +211,73 @@ pub fn run_service(
     let mut chip = Chip::new(cfg.manager.chip.clone());
     let mut session = SanitizingSession::new().with_cycle_bound(quantum_cycles);
     let mut injector = cfg.manager.faults.as_ref().map(FaultInjector::new);
+    let mut chip_driver = cfg
+        .manager
+        .chip_faults
+        .as_ref()
+        .map(|fc| ChipFaultDriver::new(fc, cfg.manager.chip.cores as usize));
+    // Per-app planned execution fault, drawn once from the pure plan:
+    // `(is_crash, instruction threshold)`. The threshold is a fraction of
+    // the launch target, so it always fires before a healthy completion.
+    let app_faults: Vec<Option<(bool, u64)>> = match &chip_driver {
+        Some(drv) => (0..n)
+            .map(|k| {
+                drv.plan().app_fault(k).map(|f| match f {
+                    AppFault::Crash { frac } => (true, (frac * apps[k].length() as f64) as u64),
+                    AppFault::Hang { frac } => (false, (frac * apps[k].length() as f64) as u64),
+                })
+            })
+            .collect(),
+        None => vec![None; n],
+    };
     let mut quanta_degraded = 0u64;
     let mut queue: VecDeque<usize> = VecDeque::new();
     let mut next_arrival = 0usize;
     let mut admitted_at: Vec<u64> = vec![0; n];
     let mut completed: Vec<ServiceApp> = Vec::new();
     let mut shed: Vec<usize> = Vec::new();
+    let mut failed: Vec<usize> = Vec::new();
+    // Retry machinery: per-app retry count, and evicted apps waiting out
+    // their backoff as `(due_quantum, app)`. The backoff is constant, so
+    // due quanta are nondecreasing in push order and a deque drains them.
+    let mut retries: Vec<u32> = vec![0; n];
+    let mut retry_backlog: VecDeque<(u64, usize)> = VecDeque::new();
+    let mut retries_granted = 0u64;
+    let mut apps_crashed = 0u64;
+    let mut apps_hung = 0u64;
+    // Watchdog state: last observed retired-instruction counter and the
+    // count of consecutive zero-progress quanta, per on-chip app.
+    let mut last_retired: Vec<u64> = vec![0; n];
+    let mut stalled_quanta: Vec<u64> = vec![0; n];
+    let mut hang_applied: Vec<bool> = vec![false; n];
     let mut queue_depth: Vec<usize> = Vec::new();
     let mut occupancy: Vec<usize> = Vec::new();
     let mut trace: Vec<QuantumRow> = Vec::new();
     let mut migrations = 0u64;
     let mut quantum = 0u64;
     let mut drained = false;
+
+    // Evict an app from the run (its thread is already detached): grant a
+    // backed-off retry while the budget lasts, report it failed after.
+    // Progress is censored either way — a retry restarts the launch from
+    // instruction zero, and nothing is ever credited back.
+    fn evict_or_fail(
+        app: usize,
+        quantum: u64,
+        cfg: &ServiceConfig,
+        retries: &mut [u32],
+        retry_backlog: &mut VecDeque<(u64, usize)>,
+        failed: &mut Vec<usize>,
+        retries_granted: &mut u64,
+    ) {
+        if retries[app] >= cfg.max_retries {
+            failed.push(app);
+        } else {
+            retries[app] += 1;
+            *retries_granted += 1;
+            retry_backlog.push_back((quantum + 1 + cfg.retry_backoff_quanta, app));
+        }
+    }
 
     // FIFO admission: attach queued apps onto free slots in arrival order.
     // A blocked head of line blocks everyone behind it (no overtaking).
@@ -218,6 +300,38 @@ pub fn run_service(
 
     loop {
         let now = chip.cycle();
+        // 0. Execution faults: the plan may take cores out of service at
+        //    this boundary, stranding their residents. Each evacuee's
+        //    thread is gone — its partial progress is censored — and it
+        //    either gets a backed-off retry or, budget exhausted, fails.
+        let mut evacuated_now = 0usize;
+        if let Some(drv) = chip_driver.as_mut() {
+            for app in drv.apply(&mut chip, quantum) {
+                session.forget(app);
+                last_retired[app] = 0;
+                stalled_quanta[app] = 0;
+                hang_applied[app] = false;
+                evict_or_fail(
+                    app,
+                    quantum,
+                    cfg,
+                    &mut retries,
+                    &mut retry_backlog,
+                    &mut failed,
+                    &mut retries_granted,
+                );
+                evacuated_now += 1;
+            }
+        }
+        // 0b. Retries whose backoff expired re-enter the queue, bypassing
+        //    the capacity check: an admitted app is never shed.
+        while let Some(&(due, app)) = retry_backlog.front() {
+            if due > quantum {
+                break;
+            }
+            retry_backlog.pop_front();
+            queue.push_back(app);
+        }
         // 1+2. Stream every arrival due by now through admission, in
         //    arrival order. The queue is drained onto free slots *before*
         //    each capacity check, so an arrival is shed only against the
@@ -228,6 +342,17 @@ pub fn run_service(
             drain_queue(&mut chip, &mut queue, apps, &mut admitted_at, now);
             if queue.len() < cfg.queue_capacity {
                 queue.push_back(next_arrival);
+            } else if queue.is_empty() {
+                // Capacity 0: no waiting room at all, but an arrival that
+                // can attach *right now* still runs — only non-attachable
+                // arrivals are shed. (Reachable only at capacity 0; a full
+                // non-empty queue must shed to preserve FIFO admission.)
+                if let Some(slot) = first_free_slot(&chip) {
+                    chip.attach(slot, next_arrival, Box::new(apps[next_arrival].clone()));
+                    admitted_at[next_arrival] = now;
+                } else {
+                    shed.push(next_arrival);
+                }
             } else {
                 shed.push(next_arrival);
             }
@@ -236,8 +361,13 @@ pub fn run_service(
         drain_queue(&mut chip, &mut queue, apps, &mut admitted_at, now);
         queue_depth.push(queue.len());
         occupancy.push(chip.placement().len());
-        // Exit: trace exhausted, nothing queued, nothing on chip.
-        if next_arrival == n && queue.is_empty() && chip.placement().is_empty() {
+        // Exit: trace exhausted, nothing queued or backing off, nothing
+        // on chip.
+        if next_arrival == n
+            && queue.is_empty()
+            && retry_backlog.is_empty()
+            && chip.placement().is_empty()
+        {
             drained = true;
             break;
         }
@@ -268,6 +398,75 @@ pub fn run_service(
                 }
             }
         }
+        // 4b. Planned execution faults on the survivors. Completion wins a
+        //    same-quantum tie (the detach above already ran): a launch
+        //    that crossed both its fault threshold and its target inside
+        //    one quantum is a completion — the fault was scheduled for an
+        //    instruction the app no longer executes in isolation-time
+        //    terms. Crashes detach immediately; hangs wedge the thread in
+        //    place (it occupies its slot, stops retiring) and are caught
+        //    by the watchdog below like any other zero-progress app.
+        if chip_driver.is_some() {
+            let placed_now: Vec<usize> = chip.placement().iter().map(|&(a, _)| a).collect();
+            for app in placed_now {
+                let retired = chip.pmu_of(app).map(|p| p.inst_retired).unwrap_or(0);
+                match app_faults[app] {
+                    Some((true, thr)) if retired >= thr => {
+                        let slot = chip.slot_of(app).expect("placed app has a slot");
+                        chip.detach(slot);
+                        session.forget(app);
+                        apps_crashed += 1;
+                        last_retired[app] = 0;
+                        stalled_quanta[app] = 0;
+                        evict_or_fail(
+                            app,
+                            quantum,
+                            cfg,
+                            &mut retries,
+                            &mut retry_backlog,
+                            &mut failed,
+                            &mut retries_granted,
+                        );
+                    }
+                    Some((false, thr)) if retired >= thr && !hang_applied[app] => {
+                        chip.hang_app(app);
+                        hang_applied[app] = true;
+                        apps_hung += 1;
+                    }
+                    _ => {}
+                }
+            }
+            // 4c. Watchdog: an app with zero retirement for
+            //    `watchdog_quanta` consecutive quanta is hung — evict it.
+            //    No privileged fault-plan knowledge: only the public PMU.
+            let placed_now: Vec<usize> = chip.placement().iter().map(|&(a, _)| a).collect();
+            for app in placed_now {
+                let retired = chip.pmu_of(app).map(|p| p.inst_retired).unwrap_or(0);
+                if retired == last_retired[app] {
+                    stalled_quanta[app] += 1;
+                } else {
+                    stalled_quanta[app] = 0;
+                    last_retired[app] = retired;
+                }
+                if stalled_quanta[app] >= cfg.watchdog_quanta {
+                    let slot = chip.slot_of(app).expect("placed app has a slot");
+                    chip.detach(slot);
+                    session.forget(app);
+                    last_retired[app] = 0;
+                    stalled_quanta[app] = 0;
+                    hang_applied[app] = false;
+                    evict_or_fail(
+                        app,
+                        quantum,
+                        cfg,
+                        &mut retries,
+                        &mut retry_backlog,
+                        &mut failed,
+                        &mut retries_granted,
+                    );
+                }
+            }
+        }
         // 5. Sample the survivors and let the policy re-pair them.
         let placement = chip.placement();
         if !placement.is_empty() {
@@ -284,6 +483,13 @@ pub fn run_service(
                 smt,
                 width,
             );
+            // An empty availability mask is the healthy fast path; only
+            // faulted runs pay for building the mask.
+            let availability = if chip_driver.is_some() {
+                chip.availability()
+            } else {
+                Vec::new()
+            };
             decide_and_apply(
                 &mut chip,
                 policy,
@@ -291,16 +497,49 @@ pub fn run_service(
                 &sanitized.samples,
                 &sanitized.degraded,
                 &placement,
+                &availability,
+                evacuated_now,
                 &mut migrations,
             );
         }
         quantum += 1;
     }
 
+    // Conservation: every arrival reaches exactly one terminal outcome
+    // (or, on a capped run, is still identifiably in flight). Kept as a
+    // release assert — a service that loses track of admitted work must
+    // abort rather than publish latency numbers.
+    if drained {
+        assert!(
+            completed.len() + shed.len() + failed.len() == n,
+            "drained service must conserve arrivals: {} completed + {} shed + {} failed != {n}",
+            completed.len(),
+            shed.len(),
+            failed.len(),
+        );
+    } else {
+        let in_flight =
+            queue.len() + chip.placement().len() + retry_backlog.len() + (n - next_arrival);
+        assert!(
+            completed.len() + shed.len() + failed.len() + in_flight == n,
+            "capped service must account for every arrival: {} completed + {} shed + {} failed \
+             + {in_flight} in flight != {n}",
+            completed.len(),
+            shed.len(),
+            failed.len(),
+        );
+    }
+    let mut chip_faults = chip_driver.map(|d| d.stats).unwrap_or_default();
+    chip_faults.apps_crashed = apps_crashed;
+    chip_faults.apps_hung = apps_hung;
+    chip_faults.retries = retries_granted;
+    chip_faults.failed = failed.len() as u64;
+
     ServiceResult {
         policy: policy.name().to_string(),
         completed,
         shed,
+        failed,
         queue_depth,
         occupancy,
         trace,
@@ -310,6 +549,7 @@ pub fn run_service(
         drained,
         matcher: policy.matcher_stats(),
         degraded: degraded_stats(&session, injector.as_ref(), quanta_degraded, policy),
+        chip_faults,
     }
 }
 
@@ -334,8 +574,10 @@ mod tests {
                 quantum_cycles: 10_000,
                 max_quanta: 3_000,
                 faults: None,
+                chip_faults: None,
             },
             queue_capacity: 8,
+            ..ServiceConfig::default()
         }
     }
 
@@ -429,8 +671,10 @@ mod tests {
                 quantum_cycles: 10_000,
                 max_quanta: 10,
                 faults: None,
+                chip_faults: None,
             },
             queue_capacity: 8,
+            ..ServiceConfig::default()
         };
         let mut policy = LinuxLike;
         let r = run_service(&apps, &arrivals, &mut policy, &cfg);
@@ -470,5 +714,112 @@ mod tests {
             run_service(&apps, &arrivals, &mut policy, &small_cfg())
         };
         assert_eq!(format!("{:?}", run()), format!("{:?}", run()));
+    }
+
+    fn chaos_cfg(rate: f64) -> ServiceConfig {
+        ServiceConfig {
+            manager: ManagerConfig {
+                chip: ChipConfig::thunderx2(4), // 4 cores / 8 slots
+                quantum_cycles: 10_000,
+                max_quanta: 3_000,
+                faults: None,
+                chip_faults: Some(synpa_sim::ChipFaultConfig::uniform(3, rate)),
+            },
+            queue_capacity: 8,
+            ..ServiceConfig::default()
+        }
+    }
+
+    /// The headline robustness scenario: a rate-1.0 plan gives every app a
+    /// planned crash or hang and regularly takes cores down, yet the
+    /// service completes the trace without panicking, retries evicted apps
+    /// through the queue, and reports the ones that exhaust their budget as
+    /// `failed` — with the three outcome sets partitioning the trace.
+    #[test]
+    fn execution_faults_are_survived_and_reported_honestly() {
+        let apps = service_apps(
+            &["nab_r", "hmmer", "leela_r", "astar", "gobmk", "mcf"],
+            200_000,
+        );
+        let arrivals = [0, 0, 20_000, 20_000, 40_000, 60_000];
+        let mut policy = RandomPairing::new(7);
+        let cfg = chaos_cfg(1.0);
+        let r = run_service(&apps, &arrivals, &mut policy, &cfg);
+        assert!(r.drained, "every app must reach a terminal outcome");
+        assert_eq!(
+            r.completed.len() + r.shed.len() + r.failed.len(),
+            6,
+            "outcomes partition the trace: {r:?}"
+        );
+        assert!(
+            !r.failed.is_empty(),
+            "a rate-1.0 fault plan must exhaust someone's retry budget: {:?}",
+            r.chip_faults
+        );
+        let s = r.chip_faults;
+        assert!(
+            s.apps_crashed + s.apps_hung > 0,
+            "planned app faults must fire: {s:?}"
+        );
+        assert!(s.retries > 0, "evictions must be retried first: {s:?}");
+        assert_eq!(s.failed, r.failed.len() as u64);
+        // A failed app burned its full budget: the failure event is its
+        // (max_retries + 1)-th eviction.
+        for &app in &r.failed {
+            assert!(
+                !r.completed.iter().any(|a| a.app == app),
+                "app {app} both completed and failed"
+            );
+        }
+    }
+
+    /// A rate-0 chip-fault plan must be indistinguishable from no plan at
+    /// all — the structural `chance(0.0) == false` guarantee surfacing at
+    /// the service level (the zero-rate identity the CI byte-diffs).
+    #[test]
+    fn zero_rate_chip_faults_are_byte_identical_to_none() {
+        let apps = service_apps(&["nab_r", "hmmer", "leela_r", "astar"], 20_000);
+        let arrivals = [0, 0, 15_000, 15_000];
+        let run = |cfg: &ServiceConfig| {
+            let mut policy = RandomPairing::new(3);
+            format!("{:?}", run_service(&apps, &arrivals, &mut policy, cfg))
+        };
+        let plain = run(&small_cfg());
+        let zero = run(&ServiceConfig {
+            manager: ManagerConfig {
+                chip_faults: Some(synpa_sim::ChipFaultConfig::uniform(7, 0.0)),
+                ..small_cfg().manager
+            },
+            ..small_cfg()
+        });
+        // The zero-rate run carries the (all-zero) stats struct either way;
+        // everything else must match field for field.
+        assert_eq!(plain, zero);
+    }
+
+    /// Retried work is censored, never fabricated: a completed app that
+    /// went through an eviction still reports completion − arrival as its
+    /// turnaround (the lost partial launch is inside that window, unpaid).
+    #[test]
+    fn moderate_fault_rate_still_drains_with_honest_latencies() {
+        let apps = service_apps(
+            &["nab_r", "hmmer", "leela_r", "astar", "gobmk", "nab_r"],
+            50_000,
+        );
+        let arrivals = [0, 0, 10_000, 20_000, 30_000, 40_000];
+        let mut policy = LinuxLike;
+        let cfg = chaos_cfg(0.3);
+        let r = run_service(&apps, &arrivals, &mut policy, &cfg);
+        assert!(r.drained);
+        assert_eq!(r.completed.len() + r.shed.len() + r.failed.len(), 6);
+        let width = u64::from(cfg.manager.chip.core.dispatch_width);
+        for a in &r.completed {
+            assert!(a.completed > a.arrival);
+            assert!(
+                a.sojourn() >= (a.target / width).max(1),
+                "{} finished impossibly fast after faults",
+                a.name
+            );
+        }
     }
 }

@@ -109,6 +109,8 @@ fn hoisted_cooldown_gate_preserves_every_decision() {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let decision = policy.decide(&view);
         use std::fmt::Write as _;

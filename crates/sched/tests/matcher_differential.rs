@@ -88,6 +88,8 @@ fn incremental_matcher_reproduces_fresh_decisions_under_churn() {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let df = fresh.decide(&view);
         let di = incremental.decide(&view);

@@ -21,8 +21,10 @@ fn cfg() -> ServiceConfig {
             quantum_cycles: 10_000,
             max_quanta: 3_000,
             faults: None,
+            chip_faults: None,
         },
         queue_capacity: 8,
+        ..ServiceConfig::default()
     }
 }
 

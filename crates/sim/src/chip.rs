@@ -40,6 +40,11 @@ pub struct Chip {
     /// `set_placement`, so the per-quantum scheduler lookups (`slot_of`,
     /// `pmu_of`, `placement`) are O(1)/O(apps) instead of O(cores × smt).
     slot_index: HashMap<usize, Slot>,
+    /// Per-core availability: `true` = the core is out of service (failed
+    /// or administratively offlined) and is excluded from stepping by every
+    /// engine, its core-cycles accounted as elided. Offline cores must be
+    /// empty — evacuation is the scheduler's job, enforced by asserts.
+    pub(crate) offline: Vec<bool>,
     /// Per-core resume times, reused across `run_until` calls by the
     /// per-core horizon and burst engines so the quantum loop never
     /// allocates.
@@ -64,9 +69,8 @@ pub struct Chip {
 impl Chip {
     /// Builds a chip per `cfg` with every slot empty.
     pub fn new(cfg: ChipConfig) -> Self {
-        let cores = (0..cfg.cores as usize)
-            .map(|i| Core::new(i, &cfg))
-            .collect();
+        let cores_n = cfg.cores as usize;
+        let cores = (0..cores_n).map(|i| Core::new(i, &cfg)).collect();
         Self {
             llc: Cache::new(cfg.llc),
             mem: Memory::new(cfg.mem_latency, cfg.mem_queue_penalty),
@@ -75,6 +79,7 @@ impl Chip {
             cycle: 0,
             events: Vec::new(),
             slot_index: HashMap::new(),
+            offline: vec![false; cores_n],
             percore_resume: Vec::new(),
             burst_credit: Vec::new(),
             pool: None,
@@ -111,6 +116,11 @@ impl Chip {
             "app {app_id} already placed"
         );
         let smt = self.smt();
+        assert!(
+            !self.offline[slot.core(smt)],
+            "slot {slot:?} is on offline core {}",
+            slot.core(smt)
+        );
         let ctx = &mut self.cores[slot.core(smt)].ctx[slot.ctx(smt)];
         assert!(ctx.is_none(), "slot {slot:?} already occupied");
         *ctx = Some(HwThread::new(
@@ -165,13 +175,21 @@ impl Chip {
         // Lift every involved thread out, remembering its old core.
         let mut moved: Vec<(usize, Slot, HwThread)> = Vec::with_capacity(target.len());
         for &(app, dst) in target {
-            let src = self
-                .slot_of(app)
-                .unwrap_or_else(|| panic!("app {app} not placed"));
+            let src = self.slot_of(app).unwrap_or_else(|| {
+                panic!(
+                    "app {app} not placed (current placement: {:?})",
+                    self.placement()
+                )
+            });
             let t = self.detach(src).unwrap();
             moved.push((src.core(smt), dst, t));
         }
         for (old_core, dst, mut t) in moved {
+            assert!(
+                !self.offline[dst.core(smt)],
+                "target slot {dst:?} is on offline core {}",
+                dst.core(smt)
+            );
             if dst.core(smt) != old_core {
                 t.apply_migration(self.cycle, self.cfg.migration_penalty);
             }
@@ -197,6 +215,13 @@ impl Chip {
     /// which engine advances time is selected by [`ChipConfig::engine`] —
     /// the two are bit-identical on every observable (see `crate::engine`).
     pub fn run_until(&mut self, target: u64) -> Vec<Completion> {
+        debug_assert!(
+            self.offline
+                .iter()
+                .zip(self.cores.iter())
+                .all(|(&off, c)| !off || c.occupancy() == 0),
+            "offline cores must be evacuated before stepping"
+        );
         match self.cfg.engine {
             EngineKind::Reference => engine::run_reference(self, target),
             EngineKind::Batched => engine::run_batched(self, target),
@@ -212,6 +237,91 @@ impl Chip {
     /// simulation itself.
     pub fn engine_stats(&self) -> EngineStats {
         self.stats
+    }
+
+    /// Takes `core` out of service: every engine excludes it from stepping
+    /// (its core-cycles are accounted as elided) and `attach` /
+    /// `set_placement` refuse to target it. The core must already be empty
+    /// — evacuating residents is the scheduler's job.
+    pub fn set_core_offline(&mut self, core: usize) {
+        assert!(
+            self.cores[core].occupancy() == 0,
+            "core {core} must be evacuated before going offline (apps: {:?})",
+            self.apps_on_core(core)
+        );
+        self.offline[core] = true;
+    }
+
+    /// Returns `core` to service (a transient fault healing).
+    pub fn set_core_online(&mut self, core: usize) {
+        self.offline[core] = false;
+    }
+
+    /// True when `core` is in service (placement may target it).
+    pub fn core_available(&self, core: usize) -> bool {
+        !self.offline[core]
+    }
+
+    /// Number of cores currently in service.
+    pub fn available_cores(&self) -> usize {
+        self.offline.iter().filter(|&&off| !off).count()
+    }
+
+    /// Per-core availability mask, `true` = in service, indexed by core.
+    pub fn availability(&self) -> Vec<bool> {
+        self.offline.iter().map(|&off| !off).collect()
+    }
+
+    /// Derates (or restores, with `None`) the dispatch width of `core`.
+    /// The limit is clamped to at least 1; it applies identically in every
+    /// engine because all of them step through the same dispatch stage.
+    pub fn set_core_width_limit(&mut self, core: usize, limit: Option<u32>) {
+        self.cores[core].width_limit = limit;
+    }
+
+    /// The injected dispatch-width derate of `core`, if any.
+    pub fn core_width_limit(&self, core: usize) -> Option<u32> {
+        self.cores[core].width_limit
+    }
+
+    /// Applications currently placed on `core`, in slot order.
+    pub fn apps_on_core(&self, core: usize) -> Vec<usize> {
+        let smt = self.smt();
+        let mut out: Vec<usize> = self
+            .slot_index
+            .iter()
+            .filter(|(_, s)| s.core(smt) == core)
+            .map(|(&a, _)| a)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Wedges the thread running `app_id` (injected hang): it keeps its
+    /// slot and its cycle counter but never retires or completes again.
+    /// Panics if the app is not placed.
+    pub fn hang_app(&mut self, app_id: usize) {
+        let smt = self.smt();
+        let slot = self.slot_of(app_id).unwrap_or_else(|| {
+            panic!(
+                "app {app_id} not placed (current placement: {:?})",
+                self.placement()
+            )
+        });
+        self.cores[slot.core(smt)].ctx[slot.ctx(smt)]
+            .as_mut()
+            .expect("slot index consistent")
+            .hang();
+    }
+
+    /// True when the thread running `app_id` has been wedged by
+    /// [`Chip::hang_app`].
+    pub fn is_hung(&self, app_id: usize) -> bool {
+        let smt = self.smt();
+        self.slot_of(app_id)
+            .and_then(|slot| self.cores[slot.core(smt)].ctx[slot.ctx(smt)].as_ref())
+            .map(|t| t.is_hung())
+            .unwrap_or(false)
     }
 
     /// PMU counters of the thread running `app_id`.
@@ -349,6 +459,85 @@ mod tests {
             "program of length 10k should finish within 50k cycles"
         );
         assert!(chip.launches_of(5).unwrap() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "app 9 not placed (current placement: [(3, Slot(0))])")]
+    fn set_placement_unplaced_app_panics_with_placement() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 3, prog("a"));
+        chip.set_placement(&[(9, Slot(1))]);
+    }
+
+    #[test]
+    fn offline_core_is_excluded_and_elided() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(2));
+        chip.attach(Slot(0), 0, prog("a"));
+        chip.set_core_offline(1);
+        assert!(!chip.core_available(1));
+        assert_eq!(chip.available_cores(), 1);
+        assert_eq!(chip.availability(), vec![true, false]);
+        chip.run_cycles(1_000);
+        let s = chip.engine_stats();
+        assert_eq!(s.stepped + s.elided, 2 * 1_000, "{s:?}");
+        assert!(
+            s.elided >= 1_000,
+            "offline core must be fully elided: {s:?}"
+        );
+        chip.set_core_online(1);
+        chip.attach(Slot(2), 1, prog("b"));
+        chip.run_cycles(1_000);
+        assert_eq!(chip.pmu_of(1).unwrap().cpu_cycles, 1_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "is on offline core")]
+    fn attach_to_offline_core_panics() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(2));
+        chip.set_core_offline(1);
+        chip.attach(Slot(2), 0, prog("a"));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be evacuated")]
+    fn offlining_an_occupied_core_panics() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 0, prog("a"));
+        chip.set_core_offline(0);
+    }
+
+    #[test]
+    fn hung_app_stops_retiring_but_keeps_cycling() {
+        let mut chip = Chip::new(ChipConfig::thunderx2(1));
+        chip.attach(Slot(0), 0, prog("a"));
+        // Long enough to warm the cold caches and retire real work.
+        chip.run_cycles(5_000);
+        let before = chip.pmu_of(0).unwrap().inst_retired;
+        assert!(before > 0);
+        chip.hang_app(0);
+        assert!(chip.is_hung(0));
+        chip.run_cycles(5_000);
+        let pmu = chip.pmu_of(0).unwrap();
+        assert_eq!(pmu.inst_retired, before, "hung app must stop retiring");
+        assert_eq!(pmu.cpu_cycles, 10_000, "hung app keeps accumulating cycles");
+    }
+
+    #[test]
+    fn throttled_core_retires_less() {
+        let run = |limit: Option<u32>| {
+            let mut chip = Chip::new(ChipConfig::thunderx2(1));
+            chip.set_core_width_limit(0, limit);
+            chip.attach(Slot(0), 0, prog("a"));
+            chip.run_cycles(5_000);
+            chip.pmu_of(0).unwrap().inst_retired
+        };
+        let full = run(None);
+        let derated = run(Some(1));
+        assert!(
+            derated < full,
+            "width 1 must retire less than width 4: {derated} vs {full}"
+        );
+        assert!(derated > 0, "a throttled core still makes progress");
     }
 
     #[test]

@@ -88,6 +88,11 @@ pub struct Core {
     pub(crate) l1d: Cache,
     pub(crate) l2: Cache,
     pub(crate) ctx: Vec<Option<HwThread>>,
+    /// Injected dispatch-width derate (thermal throttle / partial failure):
+    /// when set, the core dispatches at most `min(dispatch_width, limit)`
+    /// µops per cycle. Lives on the core itself so it travels with
+    /// ownership into the parallel engine's workers.
+    pub(crate) width_limit: Option<u32>,
     fetch_rr: usize,
     /// Reusable ICOUNT-order scratch so the dispatch stage allocates
     /// nothing on the per-cycle hot path.
@@ -131,6 +136,7 @@ impl Core {
             l1d: Cache::new(cfg.l1d),
             l2: Cache::new(cfg.l2),
             ctx: (0..cfg.core.smt_ways).map(|_| None).collect(),
+            width_limit: None,
             fetch_rr: 0,
             dispatch_order: Vec::new(),
         }
@@ -139,6 +145,16 @@ impl Core {
     /// Number of occupied contexts.
     pub fn occupancy(&self) -> usize {
         self.ctx.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// The dispatch width this core actually offers per cycle: the
+    /// configured width, derated by an injected throttle (never below 1 —
+    /// a zero-width core would be indistinguishable from an offline one).
+    pub(crate) fn effective_width(&self, core: &crate::config::CoreConfig) -> u32 {
+        match self.width_limit {
+            Some(limit) => core.dispatch_width.min(limit.max(1)),
+            None => core.dispatch_width,
+        }
     }
 
     /// Executes one cycle. Completions (launch finishes) are appended to
@@ -225,6 +241,12 @@ impl Core {
         // --- rendezvous guards independent of cache state ---
         let mut any_retire = false;
         for t in self.ctx.iter().flatten() {
+            if t.hung {
+                // A wedged thread can neither retire nor complete; skipping
+                // it here keeps the completion margin from parking the core
+                // at every epoch forever.
+                continue;
+            }
             if t.retired_in_launch + cfg.core.retire_width as u64 >= t.program.length() {
                 return CycleProbe::Shared;
             }
@@ -315,7 +337,7 @@ impl Core {
             .iter()
             .map(|&i| self.ctx[i].as_ref().unwrap().rob_occ)
             .sum();
-        let mut width_left = cfg.core.dispatch_width;
+        let mut width_left = self.effective_width(&cfg.core);
         let active = (n_order as u32).max(1);
         let (rob_cap, lq_cap, sq_cap) = shared_caps(&cfg.core, active);
         let mut any_dispatch = false;
@@ -487,7 +509,8 @@ impl Core {
             .iter()
             .map(|&i| self.ctx[i].as_ref().unwrap().rob_occ)
             .sum();
-        let mut width_left = cfg.core.dispatch_width;
+        let eff_width = self.effective_width(&cfg.core);
+        let mut width_left = eff_width;
         // Hog cap: while both contexts are active no thread may hold more
         // than `smt_window_cap` of the shared window, so a frontend-bound
         // co-runner is never starved, yet two memory-bound threads still
@@ -636,7 +659,7 @@ impl Core {
             // deliberately keeps them) but never retire.
             let b = t.br_dither.step(d as f64 * t.phase.br_misp_rate);
             if b > 0 {
-                let wrong_path = t.fetch_q.min(cfg.core.dispatch_width * 2);
+                let wrong_path = t.fetch_q.min(eff_width * 2);
                 t.pmu.inst_spec += wrong_path as u64;
                 t.fetch_q = 0;
                 t.fetch_block = FetchBlock::Redirect;

@@ -212,12 +212,19 @@ fn checked_step(
     out
 }
 
-/// The retained reference loop: every cycle steps every core.
+/// The retained reference loop: every cycle steps every online core.
+/// Offline cores are excluded wholesale — stepping an (empty, by the
+/// `run_until` assert) offline core would be a proven no-op, so exclusion
+/// is byte-identical — and their core-cycles are accounted as elided.
 pub(crate) fn run_reference(chip: &mut Chip, end: u64) -> Vec<Completion> {
     let start = chip.cycle;
+    let n_off = chip.offline.iter().filter(|&&off| off).count() as u64;
     while chip.cycle < end {
         chip.mem.tick(chip.cycle);
-        for core in &mut chip.cores {
+        for (core, &off) in chip.cores.iter_mut().zip(chip.offline.iter()) {
+            if off {
+                continue;
+            }
             checked_step(
                 core,
                 chip.cycle,
@@ -229,7 +236,9 @@ pub(crate) fn run_reference(chip: &mut Chip, end: u64) -> Vec<Completion> {
         }
         chip.cycle += 1;
     }
-    chip.stats.stepped += (end.saturating_sub(start)) * chip.cores.len() as u64;
+    let span = end.saturating_sub(start);
+    chip.stats.stepped += span * (chip.cores.len() as u64 - n_off);
+    chip.stats.elided += span * n_off;
     std::mem::take(&mut chip.events)
 }
 
@@ -238,10 +247,14 @@ pub(crate) fn run_reference(chip: &mut Chip, end: u64) -> Vec<Completion> {
 /// closed-form jump to the next chip-wide horizon event.
 pub(crate) fn run_batched(chip: &mut Chip, end: u64) -> Vec<Completion> {
     let n_cores = chip.cores.len() as u64;
+    let n_off = chip.offline.iter().filter(|&&off| off).count() as u64;
     while chip.cycle < end {
         chip.mem.tick(chip.cycle);
         let mut active = false;
-        for core in &mut chip.cores {
+        for (core, &off) in chip.cores.iter_mut().zip(chip.offline.iter()) {
+            if off {
+                continue;
+            }
             let out = checked_step(
                 core,
                 chip.cycle,
@@ -253,7 +266,8 @@ pub(crate) fn run_batched(chip: &mut Chip, end: u64) -> Vec<Completion> {
             active |= out.active;
         }
         chip.cycle += 1;
-        chip.stats.stepped += n_cores;
+        chip.stats.stepped += n_cores - n_off;
+        chip.stats.elided += n_off;
         if !active {
             let horizon = horizon(chip, end);
             if horizon > chip.cycle {
@@ -317,6 +331,14 @@ pub(crate) fn run_percore(chip: &mut Chip, end: u64) -> Vec<Completion> {
     resume.clear();
     resume.resize(n_cores, chip.cycle);
     let (mut stepped, mut elided) = (0u64, 0u64);
+    // Offline cores never become due: their whole window is elided up
+    // front, which keeps the stepped+elided partition exact.
+    for (due, &off) in resume.iter_mut().zip(chip.offline.iter()) {
+        if off {
+            *due = end;
+            elided += end.saturating_sub(chip.cycle);
+        }
+    }
     let mut now = chip.cycle;
     while now < end {
         chip.mem.tick(now);
@@ -399,6 +421,13 @@ pub(crate) fn run_burst(chip: &mut Chip, end: u64) -> Vec<Completion> {
         credit.resize(n_cores, 1);
     }
     let (mut stepped, mut elided, mut burst) = (0u64, 0u64, 0u64);
+    // Offline cores never become due (see `run_percore`).
+    for (due, &off) in resume.iter_mut().zip(chip.offline.iter()) {
+        if off {
+            *due = end;
+            elided += end.saturating_sub(chip.cycle);
+        }
+    }
     let mut now = chip.cycle;
     while now < end {
         chip.mem.tick(now);
@@ -693,6 +722,14 @@ pub(crate) fn run_parallel(chip: &mut Chip, end: u64) -> Vec<Completion> {
         credit.resize(n_cores, 1);
     }
     let (mut stepped, mut elided, mut burst) = (0u64, 0u64, 0u64);
+    // Offline cores never become due (see `run_percore`); their `Core`
+    // values sit checked-in for the whole run.
+    for (due, &off) in resume.iter_mut().zip(chip.offline.iter()) {
+        if off {
+            *due = end;
+            elided += end.saturating_sub(chip.cycle);
+        }
+    }
     let mut failure: Option<Box<dyn std::any::Any + Send>> = None;
     let mut now = chip.cycle;
     while now < end {
@@ -996,6 +1033,93 @@ mod tests {
         inline.run_cycles(1_000);
         assert!(inline.pool.is_none(), "one worker runs inline");
         assert!(inline.scratch.is_some());
+    }
+
+    /// Offline-core exclusion is part of the equivalence contract: with a
+    /// core out of service, every engine still produces bit-identical
+    /// completions and PMU counters, and the stepped+elided partition
+    /// stays exact (the offline core's cycles all land in `elided`).
+    #[test]
+    fn offline_core_is_byte_identical_across_engines() {
+        let run = |engine: EngineKind| {
+            let mut c = Chip::new(
+                ChipConfig::thunderx2(4)
+                    .with_engine(engine)
+                    .with_parallel_workers(2),
+            );
+            for i in 0..4 {
+                let p = if i % 2 == 0 {
+                    mem_phase()
+                } else {
+                    PhaseParams::compute()
+                };
+                c.attach(
+                    Slot(i),
+                    i,
+                    Box::new(UniformProgram::new(format!("p{i}"), p, 20_000)),
+                );
+            }
+            c.set_core_offline(3);
+            c.set_core_width_limit(2, Some(2));
+            let mut completions = Vec::new();
+            for _ in 0..4 {
+                completions.extend(c.run_cycles(5_000));
+            }
+            let pmus: Vec<_> = (0..4).map(|i| *c.pmu_of(i).unwrap()).collect();
+            let s = c.engine_stats();
+            assert_eq!(s.stepped + s.elided, 4 * 20_000, "{engine}: {s:?}");
+            assert!(
+                s.elided >= 20_000,
+                "{engine}: offline core not elided {s:?}"
+            );
+            (completions, pmus)
+        };
+        let reference = run(EngineKind::Reference);
+        for engine in [
+            EngineKind::Batched,
+            EngineKind::PerCore,
+            EngineKind::Burst,
+            EngineKind::Parallel,
+        ] {
+            assert_eq!(reference, run(engine), "{engine}");
+        }
+    }
+
+    /// A hung thread wedges identically in every engine: cycles keep
+    /// accumulating, retirement stops, and the co-runner is unaffected
+    /// relative to the reference loop.
+    #[test]
+    fn hung_thread_is_byte_identical_across_engines() {
+        let run = |engine: EngineKind| {
+            let mut c = Chip::new(
+                ChipConfig::thunderx2(2)
+                    .with_engine(engine)
+                    .with_parallel_workers(2),
+            );
+            for i in 0..3 {
+                c.attach(
+                    Slot(i),
+                    i,
+                    Box::new(UniformProgram::new(format!("p{i}"), mem_phase(), u64::MAX)),
+                );
+            }
+            c.run_cycles(5_000);
+            c.hang_app(1);
+            c.run_cycles(15_000);
+            let s = c.engine_stats();
+            assert_eq!(s.stepped + s.elided, 2 * 20_000, "{engine}: {s:?}");
+            (0..3).map(|i| *c.pmu_of(i).unwrap()).collect::<Vec<_>>()
+        };
+        let reference = run(EngineKind::Reference);
+        assert_eq!(reference[1].cpu_cycles, 20_000);
+        for engine in [
+            EngineKind::Batched,
+            EngineKind::PerCore,
+            EngineKind::Burst,
+            EngineKind::Parallel,
+        ] {
+            assert_eq!(reference, run(engine), "{engine}");
+        }
     }
 
     #[test]

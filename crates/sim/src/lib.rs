@@ -39,6 +39,7 @@ mod chip;
 mod config;
 mod core;
 mod engine;
+mod faults;
 mod mem;
 mod pmu;
 mod pool;
@@ -52,6 +53,7 @@ pub use chip::{Chip, Slot};
 pub use config::{CacheConfig, ChipConfig, CoreConfig};
 pub use core::Core;
 pub use engine::{EngineKind, EngineStats};
+pub use faults::{AppFault, ChipFaultConfig, ChipFaultPlan, CoreFault};
 pub use mem::Memory;
 pub use pmu::{Event, ExtCounters, PmuCounters, PmuDelta};
 pub use pool::threads_from_env;

@@ -109,6 +109,11 @@ pub struct HwThread {
     /// Retired instructions within the current launch.
     pub(crate) retired_in_launch: u64,
     pub(crate) launches: u64,
+    /// Wedged by an injected execution fault: the thread occupies its slot
+    /// and keeps accumulating cycles (attributed as a backend data stall —
+    /// a load that will never return), but never fetches, retires or
+    /// completes again.
+    pub(crate) hung: bool,
 
     // --- frontend ---
     pub(crate) fetch_q: u32,
@@ -173,6 +178,7 @@ impl HwThread {
             next_phase_refresh: PHASE_REFRESH,
             retired_in_launch: 0,
             launches: 0,
+            hung: false,
             fetch_q: 0,
             fetch_block: FetchBlock::None,
             fetch_block_until: 0,
@@ -218,6 +224,18 @@ impl HwThread {
     /// Instructions retired within the current launch.
     pub fn retired_in_launch(&self) -> u64 {
         self.retired_in_launch
+    }
+
+    /// Wedges the thread (injected hang): it keeps its slot and its cycle
+    /// counter, but never fetches, retires or completes again. Irreversible
+    /// for the thread's lifetime — recovery is detach-and-relaunch.
+    pub fn hang(&mut self) {
+        self.hung = true;
+    }
+
+    /// True when the thread has been wedged by [`HwThread::hang`].
+    pub fn is_hung(&self) -> bool {
+        self.hung
     }
 
     /// Refreshes phase parameters if the program crossed a refresh boundary.
@@ -328,6 +346,9 @@ impl HwThread {
 
     /// Retires up to `width` µops in order. Returns retired count.
     pub(crate) fn retire(&mut self, now: u64, width: u32) -> u32 {
+        if self.hung {
+            return 0;
+        }
         let mut budget = width;
         while budget > 0 {
             let Some(head) = self.rob.front_mut() else {
@@ -355,6 +376,9 @@ impl HwThread {
     /// progress and reports a [`Completion`]. The thread keeps running
     /// (relaunch methodology, paper §V-B).
     pub(crate) fn check_completion(&mut self, now: u64) -> Option<Completion> {
+        if self.hung {
+            return None;
+        }
         let len = self.program.length();
         if self.retired_in_launch >= len {
             let launch = self.launches;
@@ -381,6 +405,10 @@ impl HwThread {
     /// only *other* threads' progress can unblock it — their own wake events
     /// bound the chip-wide horizon in that case.
     pub(crate) fn wake_event(&self, fetch_width: u32, queue_cap: u32) -> u64 {
+        if self.hung {
+            // Nothing can ever wake a wedged thread on its own.
+            return u64::MAX;
+        }
         let mut wake = match self.rob.front() {
             Some(head) => head.ready,
             None => u64::MAX,
@@ -416,6 +444,13 @@ impl HwThread {
         rob_space: u32,
         iq_size: u32,
     ) -> Option<StallKind> {
+        if self.hung {
+            // A wedged thread accounts as a permanent backend data stall —
+            // a load that will never return. One classification shared by
+            // the per-cycle path, the probe and the fast-forward, so every
+            // engine attributes the hang identically.
+            return Some(StallKind::DCache);
+        }
         if fetch_q == 0 {
             return Some(match self.fetch_block {
                 FetchBlock::Redirect => StallKind::FrontendBranch,
@@ -503,7 +538,7 @@ impl HwThread {
 
     /// True when the thread wants the I-cache port this cycle.
     pub(crate) fn wants_fetch(&self, now: u64, fetch_width: u32, queue_cap: u32) -> bool {
-        if now < self.migrate_stall_until {
+        if self.hung || now < self.migrate_stall_until {
             return false;
         }
         match self.fetch_block {

@@ -49,6 +49,7 @@ fn mgr_cfg(engine: EngineKind, faults: Option<FaultConfig>) -> ManagerConfig {
         quantum_cycles: 5_000,
         max_quanta: 40,
         faults,
+        chip_faults: None,
     }
 }
 

@@ -98,6 +98,8 @@ proptest! {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         if let Some(decision) = policy.decide(&view) {
             assert_valid_placement(&decision, 8);
@@ -122,6 +124,8 @@ proptest! {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let mut random = RandomPairing::new(seed);
         let decision = random.decide(&view).unwrap();
@@ -151,6 +155,8 @@ proptest! {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         let decision = policy.decide(&view).unwrap();
         assert_valid_placement(&decision, 8);
@@ -187,6 +193,8 @@ proptest! {
             smt_ways: 2,
             dispatch_width: 4,
             degraded: &[],
+            availability: &[],
+            evacuated: 0,
         };
         if let Some(decision) = policy.decide(&view) {
             // Recover ST estimates the same way the policy did and compare

@@ -32,8 +32,10 @@ fn service_cfg(engine: EngineKind, workers: Option<usize>, queue_capacity: usize
             quantum_cycles: 10_000,
             max_quanta: 3_000,
             faults: None,
+            chip_faults: None,
         },
         queue_capacity,
+        ..ServiceConfig::default()
     }
 }
 
@@ -98,6 +100,7 @@ proptest! {
         prop_assert!(r.drained, "short traces must drain under the cap");
         prop_assert_eq!(*r.queue_depth.last().unwrap(), 0);
         prop_assert_eq!(*r.occupancy.last().unwrap(), 0);
+        prop_assert!(r.failed.is_empty(), "no execution faults, no failures");
         prop_assert_eq!(r.completed.len() + r.shed.len(), trace.len());
         let mut seen: Vec<usize> = r
             .completed
@@ -107,6 +110,42 @@ proptest! {
             .collect();
         seen.sort_unstable();
         prop_assert_eq!(seen, (0..trace.len()).collect::<Vec<_>>());
+    }
+
+    // Satellite contract: with queue capacity 0 there is no queueing at
+    // all — every arrival either attaches immediately to a free slot or is
+    // shed at the door — and the conservation invariant still partitions
+    // the trace exactly.
+    #[test]
+    fn zero_capacity_queue_sheds_every_non_attachable_arrival(
+        seed in 0u64..500,
+        policy_seed in 0u64..100,
+        mean_gap in 1_000.0f64..25_000.0,
+    ) {
+        let trace = poisson_trace("prop", WorkloadKind::Mixed, 14, mean_gap, seed);
+        let apps = trace_profiles(&trace);
+        let mut policy = RandomPairing::new(policy_seed);
+        let cfg = service_cfg(EngineKind::Burst, None, 0);
+        let r = run_service(&apps, &trace.arrivals, &mut policy, &cfg);
+        prop_assert!(r.drained, "short traces must drain under the cap");
+        prop_assert!(r.queue_depth.iter().all(|&d| d == 0), "capacity 0 never queues");
+        prop_assert!(r.failed.is_empty());
+        prop_assert_eq!(
+            r.completed.len() + r.shed.len(),
+            trace.len(),
+            "conservation under zero capacity"
+        );
+        // Everyone who completed was admitted at the first boundary after
+        // arriving: with no waiting room an app never queues across one.
+        let quantum_cycles = cfg.manager.quantum_cycles;
+        for a in &r.completed {
+            prop_assert!(
+                a.queue_wait() < quantum_cycles,
+                "app {} waited {} cycles with no queue",
+                a.app,
+                a.queue_wait()
+            );
+        }
     }
 
     // Latency sanity on every completed app: turnaround = queue wait +
